@@ -1,0 +1,28 @@
+"""Extension: quantifying the Sec. 2.2 dataflow comparison (Fig. 2).
+
+Runs the three dataflows functionally on sparse suite matrices and checks
+the algorithmic claims behind the paper's motivation.
+"""
+
+
+def test_ext_dataflows(run_figure):
+    result = run_figure("ext_dataflows")
+    rows = {(r["matrix"], r["dataflow"]): r for r in result["rows"]}
+    matrices = {m for m, _ in rows}
+
+    for matrix in matrices:
+        inner = rows[(matrix, "inner_product")]
+        outer = rows[(matrix, "outer_product")]
+        gustavson = rows[(matrix, "gustavson")]
+        # Useful work is dataflow-independent.
+        assert (inner["effectual"] == outer["effectual"]
+                == gustavson["effectual"])
+        # Inner product pays heavily for ineffectual intersections on
+        # these sparse matrices.
+        assert inner["ineffectual"] > 2 * inner["effectual"], matrix
+        # Outer product's buffered partial matrices dwarf Gustavson's
+        # single-row accumulator.
+        assert (outer["intermediate"]
+                > 10 * gustavson["intermediate"]), matrix
+        # Gustavson does no intersection work at all.
+        assert gustavson["ineffectual"] == 0

@@ -1,0 +1,19 @@
+"""Extension: per-design energy on the common set.
+
+The paper's traffic argument carried to energy with a parametric
+per-operation model: the design with less data movement wins.
+"""
+
+
+def test_ext_energy(run_figure):
+    result = run_figure("ext_energy")
+    rows = {r["design"]: r for r in result["rows"]}
+    # Gamma designs use less energy than the outer-product designs.
+    assert (rows["Gamma+pre"]["gmean_energy_uj"]
+            <= rows["Gamma"]["gmean_energy_uj"] * 1.02)
+    assert (rows["Gamma"]["gmean_energy_uj"]
+            < rows["SpArch"]["gmean_energy_uj"])
+    assert (rows["SpArch"]["gmean_energy_uj"]
+            < rows["OuterSPACE"]["gmean_energy_uj"])
+    # Energy is data-movement dominated on these sparse inputs.
+    assert rows["Gamma"]["mean_dram_share"] > 0.4

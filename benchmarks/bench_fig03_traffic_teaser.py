@@ -1,0 +1,24 @@
+"""Fig. 3: off-chip traffic of IP/OS/S/G/GP on gupta2 and web-Google.
+
+Paper claim: Gamma (especially with preprocessing) incurs the least
+traffic on both a relatively dense matrix (gupta2) and a highly sparse
+one (web-Google); inner product degrades on the sparse matrix, the
+outer-product designs on the denser one.
+"""
+
+
+def test_fig3(run_figure):
+    result = run_figure("fig3")
+    rows = {(r["matrix"], r["design"]): r["total"] for r in result["rows"]}
+
+    for matrix in ("gupta2", "web-Google"):
+        # Gamma with preprocessing beats both outer-product designs.
+        assert rows[(matrix, "GP")] < rows[(matrix, "OuterSPACE")]
+        assert rows[(matrix, "GP")] < rows[(matrix, "SpArch")]
+        # Even without preprocessing, the Gustavson dataflow wins.
+        assert rows[(matrix, "G")] < rows[(matrix, "OuterSPACE")]
+
+    # IP suffers on the highly sparse matrix far more than GP does.
+    assert rows[("web-Google", "IP")] > 2 * rows[("web-Google", "GP")]
+    # Outer-product partial outputs blow up on the denser matrix.
+    assert rows[("gupta2", "OuterSPACE")] > 4 * rows[("gupta2", "GP")]

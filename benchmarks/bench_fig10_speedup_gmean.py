@@ -1,0 +1,20 @@
+"""Fig. 10: gmean speedup over MKL on the common set.
+
+Paper: Gamma-with-preprocessing is 38x over MKL, 2.1x over SpArch, and
+7.7x over OuterSPACE; preprocessing adds ~16%.
+"""
+
+
+def test_fig10(run_figure):
+    result = run_figure("fig10")
+    speedups = {r["design"]: r["gmean_speedup"] for r in result["rows"]}
+
+    # Every accelerator beats the CPU baseline comfortably.
+    assert speedups["OuterSPACE"] > 2
+    assert speedups["SpArch"] > speedups["OuterSPACE"]
+    # Gamma beats both prior accelerators.
+    assert speedups["G"] > speedups["SpArch"]
+    assert speedups["GP"] >= speedups["G"]
+    # Order-of-magnitude checks against the paper's bars.
+    assert 10 < speedups["GP"] < 120  # paper: 38x
+    assert speedups["GP"] / speedups["OuterSPACE"] > 3  # paper: 7.7x

@@ -1,0 +1,14 @@
+"""Fig. 11: per-matrix speedup of Gamma (with preprocessing) over MKL,
+common set. Paper: up to 184x, gmean 38x."""
+
+from conftest import by_matrix
+
+
+def test_fig11(run_figure):
+    result = run_figure("fig11")
+    rows = by_matrix(result["rows"])
+    per_matrix = [r["speedup"] for name, r in rows.items()
+                  if name != "gmean"]
+    assert all(s > 1 for s in per_matrix)  # never slower than MKL
+    assert max(per_matrix) > 25            # paper: up to 184x
+    assert 10 < rows["gmean"]["speedup"] < 120

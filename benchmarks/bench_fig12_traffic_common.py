@@ -1,0 +1,25 @@
+"""Fig. 12: normalized off-chip traffic on the common set.
+
+Paper gmeans: OuterSPACE ~4x compulsory, SpArch ~1.59x, Gamma 1.26x,
+Gamma+preprocessing 1.07x.
+"""
+
+from conftest import by_matrix
+
+
+def test_fig12(run_figure):
+    result = run_figure("fig12")
+    rows = by_matrix(result["rows"])
+    g = rows["gmean"]
+
+    assert g["GP"] <= g["G"] * 1.02         # preprocessing helps on average
+    assert g["G"] < g["SpArch"]             # Gustavson beats outer product
+    assert g["SpArch"] < g["OuterSPACE"]
+    assert g["GP"] < 1.6                    # paper: 1.07
+    assert 2.5 < g["OuterSPACE"] < 6.5      # paper: ~4
+
+    # Per matrix, Gamma never exceeds OuterSPACE.
+    for name, r in rows.items():
+        if name == "gmean":
+            continue
+        assert r["GP"] <= r["OuterSPACE"] * 1.05, name

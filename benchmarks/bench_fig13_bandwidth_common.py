@@ -1,0 +1,19 @@
+"""Fig. 13: memory bandwidth utilization on the common set.
+
+Paper: Gamma almost always saturates the 128 GB/s interface.
+"""
+
+from conftest import by_matrix
+
+
+def test_fig13(run_figure):
+    result = run_figure("fig13")
+    rows = by_matrix(result["rows"])
+    mean = rows["mean"]
+    assert mean["G"] > 0.7
+    assert mean["GP"] > 0.7
+    saturated = sum(
+        1 for name, r in rows.items()
+        if name != "mean" and r["GP"] > 0.9
+    )
+    assert saturated >= len(rows) // 2  # most matrices saturate

@@ -1,0 +1,17 @@
+"""Fig. 14: FiberCache utilization by fiber type, common set.
+
+Paper: B fibers dominate capacity; partial-output fibers take visible
+space on a few inputs (wiki-Vote, email-Enron, webbase-1M).
+"""
+
+from conftest import by_matrix
+
+
+def test_fig14(run_figure):
+    result = run_figure("fig14")
+    rows = by_matrix(result["rows"])
+    # B rows dominate on every matrix.
+    for name, r in rows.items():
+        assert r["G_B"] >= r["G_partial"], name
+    # Some matrices show a nonzero partial share.
+    assert any(r["G_partial"] > 0.01 for r in rows.values())

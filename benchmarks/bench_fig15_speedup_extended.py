@@ -1,0 +1,14 @@
+"""Fig. 15: per-matrix speedup over MKL, extended set.
+
+Paper: gmean 17x, up to 50x.
+"""
+
+from conftest import by_matrix
+
+
+def test_fig15(run_figure):
+    result = run_figure("fig15")
+    rows = by_matrix(result["rows"])
+    per_matrix = [r["speedup"] for n, r in rows.items() if n != "gmean"]
+    assert all(s > 1 for s in per_matrix)
+    assert 5 < rows["gmean"]["speedup"] < 80  # paper: 17x

@@ -1,0 +1,22 @@
+"""Fig. 16: normalized traffic on the extended set.
+
+Paper: OuterSPACE ~14x Gamma's traffic and SpArch ~3x; outer product
+collapses on denser matrices (up to 54x over compulsory).
+"""
+
+from conftest import by_matrix
+
+
+def test_fig16(run_figure):
+    result = run_figure("fig16")
+    rows = by_matrix(result["rows"])
+    g = rows["gmean"]
+
+    assert g["GP"] <= g["G"] * 1.02
+    assert g["OuterSPACE"] / g["GP"] > 4     # paper: ~14x
+    assert g["SpArch"] / g["GP"] > 1.5       # paper: ~3x
+    # The gap is much larger than on the common set: outer product
+    # explodes with density.
+    worst_os = max(r["OuterSPACE"] for n, r in rows.items()
+                   if n != "gmean")
+    assert worst_os > 10                     # paper: up to 54x

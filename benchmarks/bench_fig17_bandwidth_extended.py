@@ -1,0 +1,17 @@
+"""Fig. 17: bandwidth utilization on the extended set.
+
+Paper: denser matrices become compute-bound, so several inputs stop
+saturating memory bandwidth (unlike the common set).
+"""
+
+from conftest import by_matrix
+
+
+def test_fig17(run_figure):
+    result = run_figure("fig17")
+    rows = by_matrix(result["rows"])
+    not_saturated = sum(
+        1 for n, r in rows.items() if n != "mean" and r["GP"] < 0.85
+    )
+    assert not_saturated >= 3  # several compute-bound matrices
+    assert 0.2 < rows["mean"]["GP"] <= 1.0

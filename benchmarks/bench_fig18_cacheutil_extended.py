@@ -1,0 +1,16 @@
+"""Fig. 18: FiberCache utilization, extended set.
+
+Paper: the partial-result share varies widely across matrices (e.g.,
+Maragal_7 spends ~35% of capacity on partial fibers, NotreDame_actors
+none), which justifies one shared storage structure.
+"""
+
+from conftest import by_matrix
+
+
+def test_fig18(run_figure):
+    result = run_figure("fig18")
+    rows = by_matrix(result["rows"])
+    partial_shares = [r["GP_partial"] for r in rows.values()]
+    assert max(partial_shares) > 0.05   # some matrices need partial space
+    assert min(partial_shares) < 0.02   # others need none

@@ -1,0 +1,26 @@
+"""Fig. 19: preprocessing ablations on Maragal_7 and sme3Db.
+
+Paper: affinity reordering gives a large (6x-class) traffic cut on
+sme3Db; tiling *all* rows backfires badly (13x extra on sme3Db);
+selective coordinate-space tiling keeps reordering's gains and helps
+Maragal_7 further.
+"""
+
+
+def test_fig19(run_figure):
+    result = run_figure("fig19")
+    rows = {(r["matrix"], r["variant"]): r["total"]
+            for r in result["rows"]}
+
+    for matrix in ("Maragal_7", "sme3Db"):
+        # Reordering helps.
+        assert rows[(matrix, "+R")] < rows[(matrix, "G")]
+        # Selective tiling never loses to tiling everything.
+        assert rows[(matrix, "+R+ST")] <= rows[(matrix, "+R+T")] * 1.02
+
+    # The tile-everything pathology on sme3Db (paper: 13x extra traffic).
+    assert rows[("sme3Db", "+R+T")] > 1.5 * rows[("sme3Db", "+R")]
+    # Selective tiling does not hurt sme3Db (its rows stay untiled).
+    assert rows[("sme3Db", "+R+ST")] <= rows[("sme3Db", "+R")] * 1.02
+    # Tiling provides additional benefit on Maragal_7's dense rows.
+    assert rows[("Maragal_7", "+R+ST")] < rows[("Maragal_7", "+R")]

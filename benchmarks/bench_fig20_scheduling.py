@@ -1,0 +1,16 @@
+"""Fig. 20: multi-PE vs single-PE-per-row scheduling on email-Enron.
+
+Paper: the multi-PE dataflow schedule consumes partial fibers sooner,
+reducing traffic by ~18% and improving performance by ~17%.
+"""
+
+
+def test_fig20(run_figure):
+    result = run_figure("fig20")
+    rows = {r["scheduler"]: r for r in result["rows"]}
+
+    multi, single = rows["multi-PE"], rows["single-PE"]
+    # Multi-PE scheduling is no slower and no more traffic-hungry.
+    assert multi["cycles"] <= single["cycles"] * 1.02
+    assert multi["total"] <= single["total"] * 1.02
+    assert result["speedup"] >= 0.98

@@ -1,0 +1,22 @@
+"""Fig. 21: roofline analysis.
+
+Paper: almost all matrices sit at or very close to the roofline — the
+system is driven to saturation; a few (gupta2, Ge87H76, Ge99H100) fall
+below because they alternate memory- and compute-bound phases.
+"""
+
+
+def test_fig21(run_figure):
+    result = run_figure("fig21")
+    points = result["points"]
+    efficiencies = [p.efficiency for p in points]
+    on_roof = sum(1 for e in efficiencies if e > 0.8)
+    # Almost all points hug the roof.
+    assert on_roof / len(points) > 0.6
+    # Both memory-bound and compute-bound regions are populated.
+    from repro.analysis.roofline import ridge_intensity
+    from repro.experiments import scaled_gamma_config
+
+    ridge = ridge_intensity(scaled_gamma_config())
+    assert any(p.intensity < ridge for p in points)
+    assert any(p.intensity > ridge for p in points)

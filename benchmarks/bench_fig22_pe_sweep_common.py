@@ -1,0 +1,19 @@
+"""Fig. 22: PE-count sweep on the common set.
+
+Paper: the common set is memory-bound at 32 PEs — performance stops
+scaling beyond that, and traffic is insensitive to PE count.
+"""
+
+
+def test_fig22(run_figure):
+    result = run_figure("fig22")
+    rows = {r["config"]: r for r in result["rows"]}
+
+    # More PEs never hurt much, and scaling saturates by 32.
+    assert rows["32"]["gmean_speedup"] >= rows["8"]["gmean_speedup"]
+    gain_past_32 = (rows["128"]["gmean_speedup"]
+                    / rows["32"]["gmean_speedup"])
+    assert gain_past_32 < 1.35  # memory-bound: little headroom
+    # Traffic is a property of the cache, not the PE count.
+    traffics = [r["mean_traffic"] for r in rows.values()]
+    assert max(traffics) / min(traffics) < 1.4

@@ -1,0 +1,16 @@
+"""Fig. 23: PE-count sweep on the extended set.
+
+Paper: denser extended-set matrices have higher arithmetic intensity, so
+Gamma keeps improving past 32 PEs (gmean +65% at 128 PEs).
+"""
+
+
+def test_fig23(run_figure):
+    result = run_figure("fig23")
+    rows = {r["config"]: r for r in result["rows"]}
+
+    assert rows["32"]["gmean_speedup"] > rows["8"]["gmean_speedup"]
+    gain_past_32 = (rows["128"]["gmean_speedup"]
+                    / rows["32"]["gmean_speedup"])
+    assert gain_past_32 > 1.15  # paper: +65%
+    # The extended set scales further than the common set does.

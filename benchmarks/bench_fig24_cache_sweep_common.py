@@ -1,0 +1,19 @@
+"""Fig. 24: FiberCache-size sweep on the common set.
+
+Paper: performance improves smoothly from 1.5 MB up, but collapses at
+0.75 MB, where almost no capacity is left to capture reuse.
+"""
+
+
+def test_fig24(run_figure):
+    result = run_figure("fig24")
+    rows = {r["config"]: r for r in result["rows"]}
+
+    # Monotone improvement with capacity.
+    assert (rows["12.0MB"]["gmean_speedup"]
+            >= rows["3.0MB"]["gmean_speedup"] * 0.98)
+    assert (rows["3.0MB"]["gmean_speedup"]
+            > rows["0.75MB"]["gmean_speedup"])
+    # The small-cache cliff: traffic blows up at 0.75 MB.
+    assert (rows["0.75MB"]["mean_traffic"]
+            > 1.25 * rows["3.0MB"]["mean_traffic"])

@@ -1,0 +1,16 @@
+"""Fig. 25: FiberCache-size sweep on the extended set.
+
+Paper: the denser extended set leans harder on capacity — small caches
+degrade sharply (traffic up to ~8x compulsory at 0.75 MB).
+"""
+
+
+def test_fig25(run_figure):
+    result = run_figure("fig25")
+    rows = {r["config"]: r for r in result["rows"]}
+
+    assert (rows["12.0MB"]["gmean_speedup"]
+            >= rows["0.75MB"]["gmean_speedup"])
+    # Capacity starvation hits the extended set harder than the common.
+    assert (rows["0.75MB"]["mean_traffic"]
+            > 1.5 * rows["12.0MB"]["mean_traffic"])

@@ -1,0 +1,11 @@
+"""Table 1: the evaluated system configuration."""
+
+
+def test_table1(run_figure):
+    result = run_figure("table1")
+    rows = {r[0]: (r[1], r[2]) for r in result["rows"]}
+    assert rows["PEs"] == (32, 32)
+    assert rows["PE radix"] == (64, 64)
+    assert rows["FiberCache (KB)"][0] == 3 * 1024      # paper: 3 MB
+    assert rows["Memory BW (GB/s)"][0] == 128.0
+    assert rows["FiberCache ways"] == (16, 16)

@@ -1,0 +1,13 @@
+"""Table 2: area breakdown (45 nm synthesis results)."""
+
+
+def test_table2(run_figure):
+    result = run_figure("table2")
+    rows = {r[0]: (r[1], r[2]) for r in result["rows"]}
+    for component, (model, paper) in rows.items():
+        assert model == __import__("pytest").approx(paper, rel=0.02), (
+            component)
+    # The merger is ~30% of a PE and ~55% goes to the FP multiplier.
+    pe_rows = {r[0]: r[2] for r in result["pe_rows"]}
+    assert abs(pe_rows["Merger"] - 0.30) < 0.03
+    assert abs(pe_rows["FP Mul"] - 0.55) < 0.03

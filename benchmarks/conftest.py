@@ -1,0 +1,42 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Each benchmark regenerates one paper artifact: it runs the experiment
+(through the shared, memoizing runner — figures that reuse the same sweeps
+pay once), prints the resulting table, saves it under
+``benchmarks/results/``, and asserts the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run one experiment under pytest-benchmark and persist its table."""
+
+    def runner(experiment_id: str):
+        from repro.experiments import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=1, iterations=1,
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        artifact = result["table"]
+        if "chart" in result:
+            artifact += "\n\n" + result["chart"]
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(artifact + "\n")
+        with capsys.disabled():
+            print(f"\n{artifact}\n")
+        return result
+
+    return runner
+
+
+def by_matrix(rows, key="matrix"):
+    """Index figure rows by matrix name."""
+    return {row[key]: row for row in rows if key in row}

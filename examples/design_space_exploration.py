@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Design-space exploration: re-deriving Gamma's design point.
+
+Sweeps PE count, merger radix, and FiberCache capacity; costs every
+configuration with the Table 2 area model; simulates a mesh workload; and
+prints the area-performance Pareto frontier. The paper's argument — spend
+area on the FiberCache, keep PEs scalar, stop at the bandwidth saturation
+point — falls out of the numbers.
+"""
+
+from repro.analysis.charts import scatter_plot
+from repro.analysis.dse import (
+    best_performance_per_area,
+    candidate_configs,
+    evaluate,
+    pareto_frontier,
+)
+from repro.analysis.report import render_table
+from repro.matrices import generators
+
+
+def main() -> None:
+    workload = generators.mesh(1000, 16.0, seed=13)
+    print(f"workload: {workload} squared\n")
+
+    configs = candidate_configs(
+        pe_counts=(8, 16, 32, 64),
+        radices=(16, 64),
+        cache_bytes=(32 * 1024, 64 * 1024, 128 * 1024),
+    )
+    points = evaluate((workload, workload), configs)
+
+    frontier = pareto_frontier(points)
+    rows = [
+        [p.label, p.area_mm2, int(p.cycles),
+         "*" if p in frontier else ""]
+        for p in sorted(points, key=lambda p: p.area_mm2)
+    ]
+    print(render_table(
+        ["config", "area mm^2", "cycles", "pareto"], rows,
+        title="Design points (area from the Table 2 model)",
+    ))
+
+    best = best_performance_per_area(points)
+    print(f"\nbest performance/area: {best.label} "
+          f"({best.area_mm2:.1f} mm^2, {best.cycles:,.0f} cycles)")
+
+    print("\n" + scatter_plot(
+        [(p.area_mm2, p.cycles) for p in points],
+        title="area (x) vs cycles (y) — lower-left is better",
+        log_y=True,
+    ))
+
+
+if __name__ == "__main__":
+    main()

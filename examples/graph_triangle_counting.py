@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Triangle counting with spMspM on Gamma.
+
+Graph analytics is one of the paper's motivating domains (Sec. 2): the
+number of triangles in an undirected graph is trace(A^3) / 6, which
+reduces to one spMspM (A x A) followed by an element-wise masked
+reduction with A. This example runs the spMspM on the simulated
+accelerator and compares against a direct combinatorial count.
+"""
+
+import numpy as np
+
+from repro import GammaConfig, GammaSimulator
+from repro.matrices import generators
+from repro.matrices.csr import CsrMatrix
+
+
+def undirected_graph(num_nodes: int, seed: int) -> CsrMatrix:
+    """A symmetric 0/1 adjacency matrix with clustered structure."""
+    base = generators.block_random(
+        num_nodes, num_nodes, 6.0, seed=seed, num_blocks=8,
+        in_block_fraction=0.9)
+    dense = base.to_dense()
+    dense = ((dense + dense.T) > 0).astype(float)
+    np.fill_diagonal(dense, 0.0)
+    return CsrMatrix.from_dense(dense)
+
+
+def count_triangles_direct(adj: CsrMatrix) -> int:
+    """Reference count: sum over edges of common-neighbor overlaps."""
+    triangles = 0
+    for u in range(adj.num_rows):
+        row_u = adj.row(u)
+        neighbors_u = set(row_u.coords.tolist())
+        for v in row_u.coords.tolist():
+            if v <= u:
+                continue
+            row_v = adj.row(v)
+            shared = neighbors_u.intersection(row_v.coords.tolist())
+            triangles += sum(1 for w in shared if w > v)
+    return triangles
+
+
+def count_triangles_spmspm(adj: CsrMatrix,
+                           simulator: GammaSimulator) -> tuple:
+    """trace of (A x A) masked by A, / 2... computed per edge (u, v):
+    (A^2)[u, v] counts paths u-w-v; summing over edges and dividing by 6
+    gives the triangle count."""
+    result = simulator.run(adj, adj)
+    squared = result.output
+    total = 0.0
+    for u in range(adj.num_rows):
+        mask = adj.row(u)
+        paths = squared.row(u)
+        total += mask.dot(paths)  # sparse intersection
+    return int(round(total / 6)), result
+
+
+def main() -> None:
+    adj = undirected_graph(800, seed=11)
+    print(f"graph: {adj.num_rows} nodes, {adj.nnz // 2} edges")
+
+    simulator = GammaSimulator(GammaConfig())
+    accelerated, result = count_triangles_spmspm(adj, simulator)
+    direct = count_triangles_direct(adj)
+
+    print(f"triangles (Gamma spMspM): {accelerated}")
+    print(f"triangles (direct):       {direct}")
+    assert accelerated == direct, "triangle counts disagree!"
+
+    print(f"\nspMspM cycles: {result.cycles:,.0f}  "
+          f"traffic: {result.total_traffic / 1024:.0f} KB  "
+          f"({result.normalized_traffic:.2f}x compulsory)")
+
+
+if __name__ == "__main__":
+    main()

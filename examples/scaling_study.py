@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Design-space exploration: sweep PE count and FiberCache capacity.
+
+Reproduces the methodology of the paper's Sec. 6.7 scalability studies on
+a single matrix: sparse inputs saturate memory bandwidth by 32 PEs, while
+FiberCache capacity trades directly against B-fiber re-fetch traffic.
+"""
+
+from repro import GammaConfig, GammaSimulator
+from repro.analysis.report import render_table
+from repro.matrices import generators
+
+
+def sweep(matrix, configs, label_fn):
+    rows = []
+    for config in configs:
+        result = GammaSimulator(config, keep_output=False).run(
+            matrix, matrix)
+        rows.append([
+            label_fn(config),
+            result.cycles,
+            result.normalized_traffic,
+            result.bandwidth_utilization,
+            result.pe_utilization,
+        ])
+    return rows
+
+
+def main() -> None:
+    matrix = generators.mesh(1200, 20.0, seed=5)
+    print(f"matrix: {matrix}\n")
+
+    pe_rows = sweep(
+        matrix,
+        [GammaConfig(num_pes=p, fibercache_bytes=64 * 1024)
+         for p in (4, 8, 16, 32, 64, 128)],
+        lambda c: f"{c.num_pes} PEs",
+    )
+    print(render_table(
+        ["config", "cycles", "traffic (x comp.)", "bw util", "pe util"],
+        pe_rows, title="PE-count sweep (64 KB FiberCache)",
+    ))
+
+    print()
+    cache_rows = sweep(
+        matrix,
+        [GammaConfig(fibercache_bytes=kb * 1024)
+         for kb in (8, 16, 32, 64, 128, 256)],
+        lambda c: f"{c.fibercache_bytes // 1024} KB",
+    )
+    print(render_table(
+        ["config", "cycles", "traffic (x comp.)", "bw util", "pe util"],
+        cache_rows, title="FiberCache-capacity sweep (32 PEs)",
+    ))
+
+    print("\nThe sparse input is memory-bound: past the saturation point "
+          "extra PEs idle,\nwhile extra cache keeps cutting re-fetch "
+          "traffic until the whole B fits.")
+
+
+if __name__ == "__main__":
+    main()

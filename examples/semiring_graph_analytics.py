@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Graph analytics on Gamma via semiring spMspM.
+
+The paper motivates spMspM with graph workloads (BFS, shortest paths,
+triangle counting — Sec. 1-2). Gamma's PEs are algebra-agnostic: swapping
+the multiply/accumulate units yields GraphBLAS-style semiring products.
+This example runs breadth-first search (boolean semiring) and all-pairs
+shortest paths (tropical min-plus semiring) on the simulated accelerator,
+cross-checking both against classical algorithms.
+"""
+
+import numpy as np
+
+from repro.apps import all_pairs_shortest_paths, bfs_levels
+from repro.apps.apsp import apsp_reference
+from repro.apps.bfs import bfs_reference
+from repro.config import GammaConfig
+from repro.matrices import generators
+from repro.matrices.csr import CsrMatrix
+
+
+def build_social_graph(n: int, seed: int) -> CsrMatrix:
+    base = generators.power_law(n, n, 6.0, seed=seed, max_degree=60)
+    dense = (base.to_dense() > 0).astype(float)
+    dense = np.maximum(dense, dense.T)  # undirected
+    np.fill_diagonal(dense, 0.0)
+    return CsrMatrix.from_dense(dense)
+
+
+def main() -> None:
+    config = GammaConfig()
+
+    # --- BFS over the boolean semiring --------------------------------
+    adj = build_social_graph(900, seed=21)
+    sources = [0, adj.num_rows // 2]
+    bfs = bfs_levels(adj, sources, config)
+    for i, source in enumerate(sources):
+        reference = bfs_reference(adj, source)
+        assert np.array_equal(bfs["levels"][i], reference)
+    reached = int((bfs["levels"][0] >= 0).sum())
+    print(f"BFS on {adj.num_rows}-node social graph: "
+          f"{reached} nodes reached from source 0 in "
+          f"{int(bfs['levels'][0].max())} hops")
+    print(f"  {bfs['iterations']} boolean spMspM rounds, "
+          f"{bfs['total_cycles']:,.0f} cycles, "
+          f"{bfs['total_traffic'] / 1024:.0f} KB traffic  [verified]")
+
+    # --- APSP over the tropical (min, +) semiring ----------------------
+    rng = np.random.default_rng(22)
+    n = 40
+    dense = rng.uniform(1.0, 9.0, (n, n)) * (rng.random((n, n)) < 0.15)
+    np.fill_diagonal(dense, 0.0)
+    weights = CsrMatrix.from_dense(dense)
+    apsp = all_pairs_shortest_paths(weights, config)
+    reference = apsp_reference(weights)
+    assert np.allclose(apsp["distances"], reference)
+    finite = np.isfinite(apsp["distances"]).mean()
+    print(f"\nAPSP on a {n}-node weighted graph: "
+          f"{finite:.0%} of pairs connected")
+    print(f"  {apsp['iterations']} min-plus squarings, "
+          f"{apsp['total_cycles']:,.0f} cycles  [verified vs "
+          "Floyd-Warshall]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Gamma reproduction: Gustavson-algorithm spMspM accelerator simulation.
+
+Reproduces "Gamma: Leveraging Gustavson's Algorithm to Accelerate Sparse
+Matrix Multiplication" (Zhang, Attaluri, Emer, Sanchez — ASPLOS 2021).
+
+Quick start::
+
+    from repro import GammaSimulator, GammaConfig
+    from repro.matrices import generators
+
+    a = generators.power_law(5000, 5000, 6.0, seed=1)
+    result = GammaSimulator(GammaConfig()).run(a, a)
+    print(result.output, result.cycles, result.normalized_traffic)
+"""
+
+from repro.config import CpuConfig, GammaConfig, PreprocessConfig
+from repro.core import GammaSimulator, SimulationResult, multiply
+from repro.matrices import CsrMatrix, Fiber
+from repro.preprocessing import preprocess
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CpuConfig",
+    "CsrMatrix",
+    "Fiber",
+    "GammaConfig",
+    "GammaSimulator",
+    "PreprocessConfig",
+    "SimulationResult",
+    "multiply",
+    "preprocess",
+    "__version__",
+]

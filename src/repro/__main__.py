@@ -1,0 +1,94 @@
+"""Command-line interface: list and run the reproduced experiments.
+
+Usage::
+
+    python -m repro list                 # every table/figure + its claim
+    python -m repro run fig12            # regenerate one artifact
+    python -m repro run fig12 table2 ... # several
+    python -m repro suite                # the scaled matrix suites
+    python -m repro export out/ fig12    # write .txt/.csv/.json artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_list() -> int:
+    from repro.experiments import EXPERIMENTS
+
+    width = max(len(e.experiment_id) for e in EXPERIMENTS)
+    for experiment in EXPERIMENTS:
+        print(f"{experiment.experiment_id:<{width}}  {experiment.title}")
+        print(f"{'':<{width}}  paper: {experiment.paper_claim}")
+    return 0
+
+
+def _cmd_run(ids: List[str]) -> int:
+    from repro.experiments import all_experiment_ids, run_experiment
+
+    if not ids:
+        print("no experiment ids given; try: "
+              f"{', '.join(all_experiment_ids())}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result["table"])
+        print()
+    return 0
+
+
+def _cmd_export(directory: str, ids: List[str]) -> int:
+    from repro.experiments import all_experiment_ids
+    from repro.experiments.export import export_experiment
+
+    targets = ids or all_experiment_ids()
+    for experiment_id in targets:
+        written = export_experiment(experiment_id, directory)
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_suite() -> int:
+    from repro.experiments import run_experiment
+
+    for table in ("table3", "table4"):
+        print(run_experiment(table)["table"])
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Gamma (ASPLOS'21) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list every reproduced table/figure")
+    run_parser = sub.add_parser("run", help="regenerate artifacts")
+    run_parser.add_argument("ids", nargs="*", help="experiment ids")
+    export_parser = sub.add_parser(
+        "export", help="write artifacts as .txt/.csv/.json")
+    export_parser.add_argument("directory")
+    export_parser.add_argument("ids", nargs="*",
+                               help="experiment ids (default: all)")
+    sub.add_parser("suite", help="print the scaled matrix suites")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids)
+    if args.command == "export":
+        return _cmd_export(args.directory, args.ids)
+    if args.command == "suite":
+        return _cmd_suite()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Analysis utilities: traffic, metrics, roofline, area, reporting."""
+
+from repro.analysis.area import AreaBreakdown, gamma_area, merger_area, pe_area
+from repro.analysis.charts import (
+    grouped_bar_chart,
+    hbar_chart,
+    scatter_plot,
+    stacked_hbar_chart,
+)
+from repro.analysis.dse import (
+    DesignPoint,
+    best_performance_per_area,
+    candidate_configs,
+    evaluate,
+    pareto_frontier,
+)
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    energy_per_flop_pj,
+    estimate_energy,
+)
+from repro.analysis.metrics import amean, gmean, speedup
+from repro.analysis.reuse import LruRowCache, b_read_traffic
+from repro.analysis.roofline import (
+    RooflinePoint,
+    ridge_intensity,
+    roof_at,
+    roofline_point,
+    roofline_series,
+)
+from repro.analysis.report import render_breakdown_table, render_table
+from repro.analysis.traffic import (
+    compulsory_traffic,
+    noncompulsory_bytes,
+    normalize_breakdown,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "DesignPoint",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "best_performance_per_area",
+    "candidate_configs",
+    "energy_per_flop_pj",
+    "estimate_energy",
+    "evaluate",
+    "grouped_bar_chart",
+    "hbar_chart",
+    "pareto_frontier",
+    "scatter_plot",
+    "stacked_hbar_chart",
+    "LruRowCache",
+    "RooflinePoint",
+    "amean",
+    "b_read_traffic",
+    "compulsory_traffic",
+    "gamma_area",
+    "gmean",
+    "merger_area",
+    "noncompulsory_bytes",
+    "normalize_breakdown",
+    "pe_area",
+    "render_breakdown_table",
+    "render_table",
+    "ridge_intensity",
+    "roof_at",
+    "roofline_point",
+    "roofline_series",
+    "speedup",
+]

@@ -1,0 +1,125 @@
+"""Analytic area model reproducing the paper's Table 2 and Sec. 6.6.
+
+Component areas are anchored to the published synthesis results (45 nm
+FreePDK45 at 1 GHz) and extended with the scaling laws the paper argues
+from: merger area grows *linearly* with radix but *quadratically* with
+throughput (Sec. 3), which is why Gamma uses many 1-element/cycle mergers
+while SpArch's single high-throughput merger dominates its area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import GammaConfig
+
+#: Published component areas in mm^2 at 45 nm (paper Table 2).
+MERGER_AREA_MM2 = 0.045          # radix-64, 1 elem/cycle
+FP_MULTIPLIER_AREA_MM2 = 0.082   # 64-bit floating-point multiplier
+FP_ADDER_AREA_MM2 = 0.015
+PE_OTHER_AREA_MM2 = 0.008
+SCHEDULER_AREA_MM2 = 0.11
+FIBERCACHE_AREA_MM2 = 22.6       # 3 MB, 48 banks (CACTI 7.0)
+CROSSBAR_AREA_MM2 = 3.1          # 48x48 and 48x16 swizzle switches
+
+_REFERENCE_RADIX = 64
+_REFERENCE_CACHE_BYTES = 3 * 1024 * 1024
+_REFERENCE_PES = 32
+
+#: Area scale factors between process nodes, relative to 45 nm
+#: (first-order linear-dimension-squared scaling used in Sec. 6.6).
+NODE_SCALE = {45: 1.0, 40: (40 / 45) ** 2, 32: (32 / 45) ** 2}
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Chip area by component, in mm^2."""
+
+    pes: float
+    scheduler: float
+    fibercache: float
+    crossbars: float
+
+    @property
+    def total(self) -> float:
+        return self.pes + self.scheduler + self.fibercache + self.crossbars
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "PEs": self.pes,
+            "Scheduler": self.scheduler,
+            "FiberCache": self.fibercache,
+            "Crossbars": self.crossbars,
+            "Total": self.total,
+        }
+
+
+def merger_area(radix: int, throughput: int = 1) -> float:
+    """Merger area: linear in radix, quadratic in throughput (Sec. 3).
+
+    Producing N outputs per cycle requires up to N^2 comparisons, so a
+    high-throughput merger like SpArch's pays quadratically.
+    """
+    if radix < 2:
+        raise ValueError("radix must be >= 2")
+    if throughput < 1:
+        raise ValueError("throughput must be >= 1")
+    radix_scale = radix / _REFERENCE_RADIX
+    return MERGER_AREA_MM2 * radix_scale * throughput ** 2
+
+
+def pe_area(radix: int = 64) -> float:
+    """One PE: merger + FP multiplier + FP adder + control (Table 2)."""
+    return (merger_area(radix) + FP_MULTIPLIER_AREA_MM2
+            + FP_ADDER_AREA_MM2 + PE_OTHER_AREA_MM2)
+
+
+def pe_component_fractions(radix: int = 64) -> Dict[str, float]:
+    """Per-component share of PE area (Table 2 right half)."""
+    total = pe_area(radix)
+    return {
+        "Merger": merger_area(radix) / total,
+        "FP Mul": FP_MULTIPLIER_AREA_MM2 / total,
+        "FP Add": FP_ADDER_AREA_MM2 / total,
+        "Others": PE_OTHER_AREA_MM2 / total,
+    }
+
+
+def fibercache_area(capacity_bytes: int) -> float:
+    """SRAM area scales linearly with capacity to first order (CACTI)."""
+    return FIBERCACHE_AREA_MM2 * capacity_bytes / _REFERENCE_CACHE_BYTES
+
+
+def gamma_area(config: Optional[GammaConfig] = None,
+               node_nm: int = 45) -> AreaBreakdown:
+    """Full-chip area for a Gamma configuration at a process node.
+
+    The default configuration reproduces Table 2: 30.6 mm^2 at 45 nm,
+    24.2 mm^2 scaled to 40 nm (Sec. 6.6).
+    """
+    config = config or GammaConfig()
+    if node_nm not in NODE_SCALE:
+        raise ValueError(
+            f"unsupported node {node_nm} nm; known: {sorted(NODE_SCALE)}"
+        )
+    scale = NODE_SCALE[node_nm]
+    pe_ratio = config.num_pes / _REFERENCE_PES
+    return AreaBreakdown(
+        pes=pe_area(config.radix) * config.num_pes * scale,
+        scheduler=SCHEDULER_AREA_MM2 * max(1.0, pe_ratio) * scale,
+        fibercache=fibercache_area(config.fibercache_bytes) * scale,
+        crossbars=CROSSBAR_AREA_MM2 * max(1.0, pe_ratio) * scale,
+    )
+
+
+def sparch_merger_area_ratio() -> float:
+    """SpArch's merger-to-multiplier area ratio (paper: ~38x Gamma's).
+
+    SpArch implements a radix-64 merger sustaining ~8 elements/cycle (the
+    same constant the SpArch timing model uses); quadratic throughput
+    scaling makes it far larger than Gamma's scalar merger relative to a
+    multiplier.
+    """
+    sparch_merger = merger_area(64, throughput=8)
+    return sparch_merger / FP_MULTIPLIER_AREA_MM2

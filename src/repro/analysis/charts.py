@@ -1,0 +1,172 @@
+"""ASCII chart rendering for the paper's figures.
+
+The evaluation artifacts are *figures*; these helpers render them as
+terminal bar charts and scatter plots so benchmark output is directly
+comparable to the paper's plots without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+_BAR_FILL = "#"
+_STACK_FILLS = "#=+:*o"
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    value_format: str = "{:.2f}",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title
+    peak = max_value if max_value is not None else max(values)
+    peak = max(peak, 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar_len = int(round(width * min(value, peak) / peak))
+        bar = _BAR_FILL * bar_len
+        overflow = ">" if value > peak else ""
+        lines.append(
+            f"{str(label):>{label_width}} |{bar}{overflow} "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def stacked_hbar_chart(
+    labels: Sequence[str],
+    stacks: Sequence[Dict[str, float]],
+    categories: Sequence[str],
+    width: int = 50,
+    title: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Stacked horizontal bars (the paper's traffic-breakdown figures).
+
+    Each category gets a distinct fill character, listed in the legend.
+    """
+    if len(labels) != len(stacks):
+        raise ValueError("labels and stacks must have equal length")
+    if len(categories) > len(_STACK_FILLS):
+        raise ValueError(
+            f"at most {len(_STACK_FILLS)} categories supported")
+    totals = [sum(stack.get(c, 0.0) for c in categories)
+              for stack in stacks]
+    peak = max_value if max_value is not None else max(totals, default=0.0)
+    peak = max(peak, 1e-12)
+    label_width = max((len(str(label)) for label in labels), default=0)
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{fill}={category}"
+        for fill, category in zip(_STACK_FILLS, categories)
+    )
+    lines.append(f"legend: {legend}")
+    for label, stack, total in zip(labels, stacks, totals):
+        bar = ""
+        for fill, category in zip(_STACK_FILLS, categories):
+            segment = stack.get(category, 0.0)
+            bar += fill * int(round(width * min(segment, peak) / peak))
+        overflow = ">" if total > peak else ""
+        lines.append(
+            f"{str(label):>{label_width}} |{bar}{overflow} {total:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    marker: str = "*",
+    curve: Optional[Sequence[Tuple[float, float]]] = None,
+) -> str:
+    """ASCII scatter plot, optionally log-scaled, with an overlay curve.
+
+    Used for the roofline figure: ``curve`` draws the roof itself.
+    """
+    if not points:
+        return title
+
+    def transform(value: float, log: bool) -> float:
+        if log:
+            if value <= 0:
+                raise ValueError("log scale requires positive values")
+            return math.log10(value)
+        return value
+
+    everything = list(points) + list(curve or [])
+    xs = [transform(x, log_x) for x, _ in everything]
+    ys = [transform(y, log_y) for _, y in everything]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, symbol: str) -> None:
+        col = int((transform(x, log_x) - x_lo) / x_span * (width - 1))
+        row = int((transform(y, log_y) - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = symbol
+
+    for x, y in curve or []:
+        place(x, y, "-")
+    for x, y in points:
+        place(x, y, marker)
+
+    lines = [title] if title else []
+    axis_note = []
+    if log_x:
+        axis_note.append("log x")
+    if log_y:
+        axis_note.append("log y")
+    if axis_note:
+        lines.append(f"({', '.join(axis_note)})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" x: [{min(x for x, _ in points):.3g}, "
+        f"{max(x for x, _ in points):.3g}]  "
+        f"y: [{min(y for _, y in points):.3g}, "
+        f"{max(y for _, y in points):.3g}]"
+    )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one block per group, one bar per series."""
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    peak = max(
+        (v for values in series.values() for v in values), default=0.0)
+    peak = max(peak, 1e-12)
+    series_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = _BAR_FILL * int(round(width * value / peak))
+            lines.append(f"  {name:>{series_width}} |{bar} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Design-space exploration: area-performance trade-offs.
+
+Extends the paper's scalability studies (Sec. 6.7) with the area model of
+Sec. 6.6: sweep PE count, merger radix, and FiberCache capacity; cost each
+configuration in mm^2; simulate a workload; and report the Pareto
+frontier. This is the study an architect runs to re-derive the paper's
+"32 radix-64 PEs + 3 MB" design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import GammaConfig
+from repro.analysis.area import gamma_area
+from repro.core import GammaSimulator
+from repro.matrices.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration.
+
+    Attributes:
+        config: The hardware configuration.
+        area_mm2: Chip area from the Table 2 model.
+        cycles: Simulated execution time on the workload.
+        traffic_bytes: DRAM bytes moved.
+    """
+
+    config: GammaConfig
+    area_mm2: float
+    cycles: float
+    traffic_bytes: int
+
+    @property
+    def label(self) -> str:
+        return (f"{self.config.num_pes}PE/r{self.config.radix}/"
+                f"{self.config.fibercache_bytes // 1024}KB")
+
+    @property
+    def performance(self) -> float:
+        """Throughput proxy: inverse cycles."""
+        return 1.0 / self.cycles if self.cycles else float("inf")
+
+    @property
+    def performance_per_area(self) -> float:
+        return self.performance / self.area_mm2
+
+
+def candidate_configs(
+    pe_counts: Sequence[int] = (8, 16, 32, 64),
+    radices: Sequence[int] = (16, 64),
+    cache_bytes: Sequence[int] = (1 << 20, 3 << 20, 6 << 20),
+    base: Optional[GammaConfig] = None,
+) -> List[GammaConfig]:
+    """The cross-product of swept parameters."""
+    base = base or GammaConfig()
+    configs = []
+    for pes in pe_counts:
+        for radix in radices:
+            for capacity in cache_bytes:
+                configs.append(base.scaled(
+                    num_pes=pes, radix=radix, fibercache_bytes=capacity))
+    return configs
+
+
+def evaluate(
+    workload: Tuple[CsrMatrix, CsrMatrix],
+    configs: Iterable[GammaConfig],
+    progress: Optional[Callable[[DesignPoint], None]] = None,
+) -> List[DesignPoint]:
+    """Simulate the workload on every configuration."""
+    a, b = workload
+    points = []
+    for config in configs:
+        result = GammaSimulator(config, keep_output=False).run(a, b)
+        point = DesignPoint(
+            config=config,
+            area_mm2=gamma_area(config).total,
+            cycles=result.cycles,
+            traffic_bytes=result.total_traffic,
+        )
+        points.append(point)
+        if progress is not None:
+            progress(point)
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Points not dominated in (smaller area, fewer cycles).
+
+    Returned sorted by area; each successive point must be strictly
+    faster to stay on the frontier.
+    """
+    ordered = sorted(points, key=lambda p: (p.area_mm2, p.cycles))
+    frontier: List[DesignPoint] = []
+    best_cycles = float("inf")
+    for point in ordered:
+        if point.cycles < best_cycles:
+            frontier.append(point)
+            best_cycles = point.cycles
+    return frontier
+
+
+def best_performance_per_area(
+    points: Sequence[DesignPoint],
+) -> DesignPoint:
+    """The efficiency sweet spot (the argument for the paper's design)."""
+    if not points:
+        raise ValueError("no design points")
+    return max(points, key=lambda p: p.performance_per_area)

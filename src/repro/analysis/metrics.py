@@ -1,0 +1,30 @@
+"""Statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups and traffic)."""
+    values = list(values)
+    if not values:
+        raise ValueError("gmean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def amean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """How many times faster than the baseline (paper's y-axes)."""
+    if accelerated_seconds <= 0:
+        raise ValueError("accelerated time must be positive")
+    return baseline_seconds / accelerated_seconds

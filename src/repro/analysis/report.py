@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table (the benches print these)."""
+    str_rows = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_breakdown_table(
+    rows: Dict[str, Dict[str, float]],
+    categories: Sequence[str],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render per-matrix category breakdowns (traffic figures)."""
+    headers = ["matrix"] + list(categories) + ["total"]
+    body: List[List[Cell]] = []
+    for name, breakdown in rows.items():
+        cells: List[Cell] = [name]
+        cells.extend(breakdown.get(c, 0.0) for c in categories)
+        cells.append(sum(breakdown.get(c, 0.0) for c in categories))
+        body.append(cells)
+    return render_table(headers, body, precision=precision, title=title)

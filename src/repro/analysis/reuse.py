@@ -1,0 +1,68 @@
+"""Row-granular reuse models shared by baselines and preprocessing.
+
+An LRU stack over B row ids, bounded by byte footprint, approximates how
+much B-read traffic a row-traversal order incurs under a given on-chip
+capacity. Much cheaper than the line-level FiberCache simulation; used
+where only an estimate is needed (CPU cache model, SpArch prefetch buffer,
+ordering comparisons).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator
+
+from repro.config import ELEMENT_BYTES
+from repro.matrices.csr import CsrMatrix
+
+
+class LruRowCache:
+    """Footprint-bounded LRU over B row ids."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._rows: OrderedDict = OrderedDict()
+        self._resident_bytes = 0
+        self.miss_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, row_id: int, row_bytes: int) -> bool:
+        """Touch one row; returns True on miss (traffic incurred)."""
+        if row_id in self._rows:
+            self._rows.move_to_end(row_id)
+            self.hits += 1
+            return False
+        self.misses += 1
+        self.miss_bytes += row_bytes
+        self._rows[row_id] = row_bytes
+        self._resident_bytes += row_bytes
+        while self._resident_bytes > self.capacity_bytes and self._rows:
+            _, evicted = self._rows.popitem(last=False)
+            self._resident_bytes -= evicted
+        return True
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+
+def b_read_traffic(
+    b_row_stream: Iterable[int],
+    b: CsrMatrix,
+    capacity_bytes: int,
+) -> int:
+    """B-read bytes for a stream of B row accesses under LRU capacity."""
+    lengths = b.row_lengths()
+    cache = LruRowCache(capacity_bytes)
+    for row_id in b_row_stream:
+        cache.access(int(row_id), int(lengths[row_id]) * ELEMENT_BYTES)
+    return cache.miss_bytes
+
+
+def gustavson_row_stream(a: CsrMatrix) -> Iterator[int]:
+    """The B rows touched by Gustavson's dataflow, in traversal order."""
+    for coord in a.coords:
+        yield int(coord)

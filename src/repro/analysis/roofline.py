@@ -1,0 +1,74 @@
+"""Roofline model for Gamma (paper Sec. 6.5, Fig. 21)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import GammaConfig
+from repro.core.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One matrix's position on the roofline plot.
+
+    Attributes:
+        name: Matrix name.
+        intensity: Operational intensity in FLOPs per DRAM byte (x-axis).
+        gflops: Achieved performance (y-axis).
+        roof_gflops: The roofline value at this intensity.
+    """
+
+    name: str
+    intensity: float
+    gflops: float
+    roof_gflops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the roofline achieved (1.0 = on the roof)."""
+        return self.gflops / self.roof_gflops if self.roof_gflops else 0.0
+
+
+def roof_at(intensity: float, config: Optional[GammaConfig] = None) -> float:
+    """The roofline in GFLOP/s at a given operational intensity.
+
+    The sloped segment is memory bandwidth x intensity; the flat segment
+    is PE throughput (32 GFLOP/s for the paper's 32-PE system).
+    """
+    config = config or GammaConfig()
+    bandwidth_roof = config.memory_bandwidth_bytes_per_s * intensity
+    compute_roof = config.peak_flops
+    return min(bandwidth_roof, compute_roof) / 1e9
+
+
+def ridge_intensity(config: Optional[GammaConfig] = None) -> float:
+    """Intensity where the sloped and flat roofs meet."""
+    config = config or GammaConfig()
+    return config.peak_flops / config.memory_bandwidth_bytes_per_s
+
+
+def roofline_point(name: str, result: SimulationResult) -> RooflinePoint:
+    """Place one simulation on the roofline."""
+    intensity = result.operational_intensity
+    return RooflinePoint(
+        name=name,
+        intensity=intensity,
+        gflops=result.gflops,
+        roof_gflops=roof_at(intensity, result.config),
+    )
+
+
+def roofline_series(points: List[RooflinePoint]) -> List[dict]:
+    """Rows for rendering/printing the Fig. 21 scatter."""
+    return [
+        {
+            "name": p.name,
+            "intensity": round(p.intensity, 4),
+            "gflops": round(p.gflops, 3),
+            "roof": round(p.roof_gflops, 3),
+            "efficiency": round(p.efficiency, 3),
+        }
+        for p in points
+    ]

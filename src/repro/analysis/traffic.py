@@ -1,0 +1,44 @@
+"""Traffic accounting shared across the simulator and baseline models."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.config import ELEMENT_BYTES, OFFSET_BYTES
+from repro.matrices.csr import CsrMatrix
+
+
+def compulsory_traffic(a: CsrMatrix, b: CsrMatrix,
+                       c_nnz: int) -> Dict[str, int]:
+    """The minimum traffic any design incurs (paper Sec. 6.1).
+
+    With unbounded on-chip storage, a run still reads A once, reads the
+    rows of B that A references once, and writes C once.
+    """
+    if len(a.coords):
+        touched = np.unique(a.coords)
+        b_lengths = b.row_lengths()
+        b_bytes = (int(b_lengths[touched].sum()) * ELEMENT_BYTES
+                   + len(touched) * OFFSET_BYTES)
+    else:
+        b_bytes = 0
+    return {
+        "A": a.nnz * ELEMENT_BYTES + a.num_rows * OFFSET_BYTES,
+        "B": b_bytes,
+        "C": c_nnz * ELEMENT_BYTES + a.num_rows * OFFSET_BYTES,
+    }
+
+
+def normalize_breakdown(traffic: Dict[str, int],
+                        compulsory: Dict[str, int]) -> Dict[str, float]:
+    """Per-category traffic over total compulsory bytes (figure y-axes)."""
+    total = max(1, sum(compulsory.values()))
+    return {category: count / total for category, count in traffic.items()}
+
+
+def noncompulsory_bytes(traffic: Dict[str, int],
+                        compulsory: Dict[str, int]) -> int:
+    """Traffic in excess of the compulsory floor."""
+    return max(0, sum(traffic.values()) - sum(compulsory.values()))

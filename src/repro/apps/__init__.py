@@ -1,0 +1,13 @@
+"""Applications built on accelerated spMspM (the paper's Sec. 1-2 domains)."""
+
+from repro.apps.apsp import all_pairs_shortest_paths
+from repro.apps.bfs import bfs_levels
+from repro.apps.chain import ChainCostReport, matrix_chain, matrix_power
+
+__all__ = [
+    "ChainCostReport",
+    "all_pairs_shortest_paths",
+    "bfs_levels",
+    "matrix_chain",
+    "matrix_power",
+]

@@ -1,0 +1,111 @@
+"""Compound spMspM: chained products and the format-consistency advantage.
+
+Paper Sec. 2.2: Gustavson's dataflow reads and writes CSR throughout, so
+compound operations (matrix powers, chains) run back to back. Inner- and
+outer-product dataflows need one operand in CSC, so every intermediate
+result must be converted — an operand transformation whose cost "rivals
+the cost of accelerated spMspM" (the paper cites [11]).
+
+:func:`matrix_chain` runs a chain on the simulated Gamma; the cost report
+quantifies how much extra traffic a conversion-per-step dataflow would
+have paid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.config import ELEMENT_BYTES, GammaConfig, OFFSET_BYTES
+from repro.core import GammaSimulator
+from repro.matrices.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class ChainCostReport:
+    """Accelerator cost of a chained product.
+
+    Attributes:
+        num_products: spMspM operations executed.
+        total_cycles: Simulated cycles across the chain.
+        total_traffic: DRAM bytes across the chain.
+        conversion_bytes: Extra traffic a CSC-input dataflow (inner /
+            outer product) would pay converting each intermediate result:
+            one read plus one write of every intermediate matrix.
+    """
+
+    num_products: int
+    total_cycles: float
+    total_traffic: int
+    conversion_bytes: int
+
+    @property
+    def conversion_overhead(self) -> float:
+        """Conversion traffic relative to the chain's own traffic."""
+        return self.conversion_bytes / max(1, self.total_traffic)
+
+
+def matrix_chain(
+    matrices: Sequence[CsrMatrix],
+    config: Optional[GammaConfig] = None,
+    simulator: Optional[GammaSimulator] = None,
+) -> tuple:
+    """Compute matrices[0] x matrices[1] x ... left to right on Gamma.
+
+    Returns:
+        (product, ChainCostReport).
+    """
+    if not matrices:
+        raise ValueError("empty chain")
+    for left, right in zip(matrices, matrices[1:]):
+        if left.num_cols != right.num_rows:
+            raise ValueError(
+                f"chain dimension mismatch: {left.shape} x {right.shape}"
+            )
+    simulator = simulator or GammaSimulator(config or GammaConfig())
+
+    current = matrices[0]
+    total_cycles = 0.0
+    total_traffic = 0
+    conversion_bytes = 0
+    products = 0
+    for right in matrices[1:]:
+        result = simulator.run(current, right)
+        products += 1
+        total_cycles += result.cycles
+        total_traffic += result.total_traffic
+        current = result.output
+        # A CSC-input dataflow would now convert `current` before the
+        # next product: read it and write it back transposed.
+        body = (current.nnz * ELEMENT_BYTES
+                + current.num_rows * OFFSET_BYTES)
+        conversion_bytes += 2 * body
+    if products:
+        # The final conversion is not needed (no next product).
+        conversion_bytes -= 2 * (
+            current.nnz * ELEMENT_BYTES + current.num_rows * OFFSET_BYTES)
+        conversion_bytes = max(0, conversion_bytes)
+    report = ChainCostReport(
+        num_products=products,
+        total_cycles=total_cycles,
+        total_traffic=total_traffic,
+        conversion_bytes=conversion_bytes,
+    )
+    return current, report
+
+
+def matrix_power(
+    matrix: CsrMatrix,
+    exponent: int,
+    config: Optional[GammaConfig] = None,
+) -> tuple:
+    """A^exponent by left-to-right products (matrix exponentiation).
+
+    Returns:
+        (power, ChainCostReport).
+    """
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    if matrix.num_rows != matrix.num_cols:
+        raise ValueError("matrix power requires a square matrix")
+    return matrix_chain([matrix] * exponent, config=config)

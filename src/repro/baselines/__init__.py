@@ -1,0 +1,31 @@
+"""Baseline models: software SpGEMM, MKL CPU, IP, OuterSPACE, SpArch."""
+
+from repro.baselines.common import BaselineResult, compulsory_traffic
+from repro.baselines.cpu_model import run_mkl_model, spgemm_efficiency
+from repro.baselines.inner_product import run_inner_product_model
+from repro.baselines.outerspace import run_outerspace_model
+from repro.baselines.sparch import (
+    condensed_width,
+    run_sparch_model,
+)
+from repro.baselines.spgemm_ref import (
+    SpgemmCounts,
+    output_nnz_upper_bound,
+    spgemm_hash,
+    spgemm_spa,
+)
+
+__all__ = [
+    "BaselineResult",
+    "SpgemmCounts",
+    "compulsory_traffic",
+    "condensed_width",
+    "output_nnz_upper_bound",
+    "run_inner_product_model",
+    "run_mkl_model",
+    "run_outerspace_model",
+    "run_sparch_model",
+    "spgemm_efficiency",
+    "spgemm_hash",
+    "spgemm_spa",
+]

@@ -1,0 +1,307 @@
+"""FiberCache: Gamma's hybrid cache / explicitly-orchestrated buffer (Sec. 3.2).
+
+A set-associative cache over 64 B lines with four primitives:
+
+* ``fetch`` — decoupled, non-speculative prefetch: brings a line in from
+  memory ahead of use and *increments its priority counter*, soft-locking it.
+* ``read``  — the PE's actual consumption: decrements priority.
+* ``write`` — allocate-without-fetch for partial output fibers; sets dirty.
+* ``consume`` — read-and-invalidate for partial fibers: no writeback even
+  though dirty.
+
+Replacement selects the victim with the lowest priority counter, breaking
+ties with 2-bit SRRIP (insert at RRPV 2, promote to 0 on touch, age when no
+candidate is at 3).
+
+The model operates on abstract line addresses: callers map fibers to
+address ranges (matrix layout or the scheduler's dynamic partial-fiber
+allocator) and the cache indexes sets by address modulo set count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import GammaConfig, LINE_BYTES
+
+#: SRRIP re-reference prediction values (2-bit).
+_RRPV_MAX = 3
+_RRPV_INSERT = 2
+_PRIORITY_MAX = 31  # 5-bit counter for 32 PEs (Sec. 3.2)
+
+
+class _Line:
+    """One resident cache line."""
+
+    __slots__ = ("addr", "category", "priority", "rrpv", "dirty")
+
+    def __init__(self, addr: int, category: str) -> None:
+        self.addr = addr
+        self.category = category
+        self.priority = 0
+        self.rrpv = _RRPV_INSERT
+        self.dirty = False
+
+
+@dataclass
+class CacheStats:
+    """Access and traffic counters, by request type."""
+
+    fetch_hits: int = 0
+    fetch_misses: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    consume_hits: int = 0
+    consume_misses: int = 0
+    dirty_evictions: int = 0
+    clean_evictions: int = 0
+
+    @property
+    def reads(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def read_hit_rate(self) -> float:
+        return self.read_hits / self.reads if self.reads else 1.0
+
+
+class FiberCache:
+    """Banked, set-associative cache with explicit data orchestration.
+
+    Args:
+        config: Gamma system parameters (capacity / ways).
+
+    The model tracks occupancy per category ('B' lines vs 'partial' lines)
+    so experiments can reproduce the paper's cache-utilization figures
+    (Figs. 14 and 18).
+    """
+
+    def __init__(self, config: GammaConfig) -> None:
+        self.config = config
+        self.num_sets = config.fibercache_sets
+        self.num_ways = config.fibercache_ways
+        self._sets: List[Dict[int, _Line]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+        #: DRAM read lines caused by misses, by data category.
+        self.miss_lines = {"B": 0, "partial": 0}
+        self.occupancy = {"B": 0, "partial": 0}
+        self._utilization_weighted = {"B": 0.0, "partial": 0.0}
+        self._utilization_weight = 0.0
+        #: Accesses per bank (addr % banks): load balance across the
+        #: banked structure that the 48x crossbars serve (Table 1).
+        self.bank_accesses = [0] * config.fibercache_banks
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def fetch(self, addr: int, category: str = "B") -> bool:
+        """Decoupled prefetch of one line. Returns True on miss (DRAM read).
+
+        Whether hit or miss, the line's priority counter is incremented so
+        replacement will not victimize it before the matching ``read``.
+        """
+        self.bank_accesses[addr % len(self.bank_accesses)] += 1
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.get(addr)
+        if line is not None:
+            self.stats.fetch_hits += 1
+            if line.priority < _PRIORITY_MAX:
+                line.priority += 1
+            line.rrpv = 0
+            return False
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        self.stats.fetch_misses += 1
+        self.miss_lines[category] += 1
+        line = self._install(addr, category)
+        line.priority = 1
+        return True
+
+    def read(self, addr: int, category: str = "B") -> bool:
+        """PE consumption of a fetched line. Returns True on miss.
+
+        A miss means the line was evicted between fetch and read (or was
+        never fetched) and costs a DRAM access.
+        """
+        self.bank_accesses[addr % len(self.bank_accesses)] += 1
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.get(addr)
+        if line is not None:
+            self.stats.read_hits += 1
+            if line.priority > 0:
+                line.priority -= 1
+            line.rrpv = 0
+            return False
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        self.stats.read_misses += 1
+        self.miss_lines[category] += 1
+        line = self._install(addr, category)
+        line.priority = 0
+        return True
+
+    def write(self, addr: int, category: str = "partial") -> None:
+        """Allocate a line without fetching and mark it dirty (Sec. 3.2).
+
+        Used for partial output fibers, which need not be backed by memory.
+        """
+        self.bank_accesses[addr % len(self.bank_accesses)] += 1
+        self.stats.writes += 1
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.get(addr)
+        if line is None:
+            line = self._install(addr, category)
+        line.dirty = True
+        line.rrpv = 0
+        # No priority bump: only fetch raises priority (Sec. 3.2), so idle
+        # partial fibers spill to their reserved memory under pressure
+        # instead of pinning capacity that B rows could use.
+
+    def consume(self, addr: int) -> bool:
+        """Read-and-invalidate a partial line. Returns True on miss.
+
+        On hit the line is dropped without writeback even though dirty; a
+        miss means the partial fiber was spilled and must be re-read from
+        DRAM.
+        """
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.pop(addr, None)
+        if line is not None:
+            self.stats.consume_hits += 1
+            self.occupancy[line.category] -= 1
+            return False
+        self.stats.consume_misses += 1
+        self.miss_lines["partial"] += 1
+        return True
+
+    def invalidate(self, addr: int) -> None:
+        """Drop a line if resident, without writeback (deallocation)."""
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.pop(addr, None)
+        if line is not None:
+            self.occupancy[line.category] -= 1
+
+    # ------------------------------------------------------------------
+    # Replacement
+    # ------------------------------------------------------------------
+    def _install(self, addr: int, category: str) -> _Line:
+        if category not in self.occupancy:
+            raise ValueError(f"unknown line category {category!r}")
+        line_set = self._sets[addr % self.num_sets]
+        if len(line_set) >= self.num_ways:
+            self._evict(line_set)
+        line = _Line(addr=addr, category=category)
+        line_set[addr] = line
+        self.occupancy[category] += 1
+        return line
+
+    def _evict(self, line_set: Dict[int, _Line]) -> None:
+        """Evict the lowest-priority line, SRRIP-aged among ties."""
+        victim = None
+        min_priority = _PRIORITY_MAX + 1
+        max_rrpv = -1
+        for line in line_set.values():
+            priority = line.priority
+            if priority < min_priority:
+                min_priority = priority
+                max_rrpv = line.rrpv
+                victim = line
+            elif priority == min_priority and line.rrpv > max_rrpv:
+                max_rrpv = line.rrpv
+                victim = line
+        if victim.rrpv < _RRPV_MAX:
+            # Age all tied candidates so the victim reaches RRPV max,
+            # as SRRIP would by repeated aging sweeps.
+            aging = _RRPV_MAX - victim.rrpv
+            for line in line_set.values():
+                if line.priority == min_priority:
+                    new_rrpv = line.rrpv + aging
+                    line.rrpv = new_rrpv if new_rrpv < _RRPV_MAX else _RRPV_MAX
+        if victim.dirty:
+            self.stats.dirty_evictions += 1
+        else:
+            self.stats.clean_evictions += 1
+        self.occupancy[victim.category] -= 1
+        del line_set[victim.addr]
+        self._last_victim = victim
+
+    @property
+    def last_victim_category(self) -> Optional[str]:
+        victim = getattr(self, "_last_victim", None)
+        return victim.category if victim is not None else None
+
+    @property
+    def last_victim_was_dirty(self) -> bool:
+        victim = getattr(self, "_last_victim", None)
+        return bool(victim is not None and victim.dirty)
+
+    @property
+    def last_victim_addr(self) -> Optional[int]:
+        victim = getattr(self, "_last_victim", None)
+        return victim.addr if victim is not None else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        return addr in self._sets[addr % self.num_sets]
+
+    def line_state(self, addr: int) -> Optional[_Line]:
+        return self._sets[addr % self.num_sets].get(addr)
+
+    @property
+    def resident_lines(self) -> int:
+        return self.occupancy["B"] + self.occupancy["partial"]
+
+    @property
+    def total_lines(self) -> int:
+        return self.num_sets * self.num_ways
+
+    def bank_load_imbalance(self) -> float:
+        """max/mean accesses across banks (1.0 = perfectly balanced).
+
+        A low value justifies the highly banked design: line-interleaved
+        fiber accesses spread nearly uniformly over the 48 banks.
+        """
+        total = sum(self.bank_accesses)
+        if total == 0:
+            return 1.0
+        mean = total / len(self.bank_accesses)
+        return max(self.bank_accesses) / mean
+
+    def utilization(self) -> Dict[str, float]:
+        """Instantaneous occupancy fractions by category."""
+        total = self.total_lines
+        used_b = self.occupancy["B"] / total
+        used_p = self.occupancy["partial"] / total
+        return {"B": used_b, "partial": used_p,
+                "unused": max(0.0, 1.0 - used_b - used_p)}
+
+    def sample_utilization(self, weight: float = 1.0) -> None:
+        """Record a utilization sample (time-weighted, Figs. 14/18)."""
+        if weight <= 0:
+            return
+        snapshot = self.utilization()
+        self._utilization_weighted["B"] += snapshot["B"] * weight
+        self._utilization_weighted["partial"] += snapshot["partial"] * weight
+        self._utilization_weight += weight
+
+    def average_utilization(self) -> Dict[str, float]:
+        """Time-averaged occupancy fractions recorded by sampling."""
+        if self._utilization_weight == 0:
+            return self.utilization()
+        used_b = self._utilization_weighted["B"] / self._utilization_weight
+        used_p = (
+            self._utilization_weighted["partial"] / self._utilization_weight
+        )
+        return {"B": used_b, "partial": used_p,
+                "unused": max(0.0, 1.0 - used_b - used_p)}
+
+
+def lines_for_bytes(num_bytes: int) -> int:
+    """Lines occupied by a byte range starting at a line boundary."""
+    return max(0, -(-num_bytes // LINE_BYTES))

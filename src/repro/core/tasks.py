@@ -1,0 +1,175 @@
+"""Scheduler work units: tasks and balanced top-full task trees (Sec. 3.3).
+
+A *task* is one PE invocation: a linear combination of up to ``radix`` input
+fibers into one output fiber. Rows of A with more nonzeros than the radix
+become a *task tree* (paper Fig. 9): leaves combine B rows, interior nodes
+combine the partial output fibers of their children, and the root emits the
+final output row.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class TaskInput:
+    """One input fiber of a task.
+
+    Attributes:
+        kind: 'B' for a row of B, 'partial' for a child task's output.
+        index: B row id for kind 'B'; child task id for kind 'partial'.
+        scale: Scaling factor — a_mk for B rows, 1.0 for partials (Sec. 3.1).
+    """
+
+    kind: str
+    index: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("B", "partial"):
+            raise ValueError(f"unknown input kind {self.kind!r}")
+
+
+@dataclass
+class Task:
+    """One PE invocation.
+
+    Attributes:
+        task_id: Globally unique id.
+        row: Output row of C this task contributes to.
+        level: Height in the task tree (0 = leaf).
+        inputs: The fibers to combine (at most the PE radix).
+        is_final: True when this task's output is the final fiber for a
+            C row (written to memory); False for partial output fibers
+            (written to the FiberCache).
+        row_order: Position of the owning work item in the processing
+            sequence (used for dispatch priority).
+        children: Child tasks whose outputs feed this task.
+    """
+
+    task_id: int
+    row: int
+    level: int
+    inputs: List[TaskInput]
+    is_final: bool
+    row_order: int = 0
+    children: List["Task"] = field(default_factory=list)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    def priority_key(self) -> Tuple[int, int, int]:
+        """Dispatch priority: row order first, then higher levels first.
+
+        The scheduler drains rows in order (ordered output) and, within a
+        row, prefers higher-level tasks to shrink the partial-fiber
+        footprint (Sec. 3.3).
+        """
+        return (self.row_order, -self.level, self.task_id)
+
+
+def build_task_tree(
+    row: int,
+    b_rows: Sequence[int],
+    scales: Sequence[float],
+    radix: int,
+    row_order: int = 0,
+    emit_final: bool = True,
+) -> List[Task]:
+    """Build the balanced, top-full task tree for one linear combination.
+
+    Splits ``len(b_rows)`` input fibers into a tree of radix-``radix``
+    merges, full at the top levels with any slack pushed to the lowest
+    level (paper Fig. 9). Returns tasks in dependency order (children
+    before parents); the last task is the root.
+
+    Args:
+        row: Output row id.
+        b_rows: B row ids the combination consumes.
+        scales: Matching scaling factors (values of A's row).
+        radix: PE merger radix.
+        row_order: Processing-sequence position for priority.
+        emit_final: Whether the root writes a final C row (False when this
+            tree computes a subrow partial under coordinate-space tiling).
+
+    Raises:
+        ValueError: On empty input or mismatched lengths.
+    """
+    if len(b_rows) != len(scales):
+        raise ValueError(
+            f"{len(b_rows)} input rows but {len(scales)} scales"
+        )
+    if len(b_rows) == 0:
+        raise ValueError(f"row {row}: cannot build a task tree with no inputs")
+    if radix < 2:
+        raise ValueError(f"radix must be >= 2, got {radix}")
+
+    tasks: List[Task] = []
+
+    def build(lo: int, hi: int) -> Task:
+        """Build the subtree combining inputs [lo, hi); returns its root."""
+        count = hi - lo
+        if count <= radix:
+            task = Task(
+                task_id=next(_task_ids),
+                row=row,
+                level=0,
+                inputs=[
+                    TaskInput("B", int(b_rows[i]), float(scales[i]))
+                    for i in range(lo, hi)
+                ],
+                is_final=False,
+                row_order=row_order,
+            )
+            tasks.append(task)
+            return task
+        # Top-full: the top level always uses the full radix; each child
+        # covers an even share, so only the bottom level can be slack.
+        children: List[Task] = []
+        direct_inputs: List[TaskInput] = []
+        base = count // radix
+        remainder = count % radix
+        cursor = lo
+        for slot in range(radix):
+            size = base + (1 if slot < remainder else 0)
+            if size == 0:
+                continue
+            if size == 1:
+                # A single fiber feeds the parent's merger way directly.
+                direct_inputs.append(
+                    TaskInput("B", int(b_rows[cursor]), float(scales[cursor]))
+                )
+            else:
+                children.append(build(cursor, cursor + size))
+            cursor += size
+        parent = Task(
+            task_id=next(_task_ids),
+            row=row,
+            level=max(c.level for c in children) + 1,
+            inputs=(
+                [TaskInput("partial", c.task_id, 1.0) for c in children]
+                + direct_inputs
+            ),
+            is_final=False,
+            row_order=row_order,
+            children=children,
+        )
+        tasks.append(parent)
+        return parent
+
+    root = build(0, len(b_rows))
+    root.is_final = emit_final
+    return tasks
+
+
+def tree_stats(tasks: Sequence[Task]) -> Tuple[int, int]:
+    """(number of tasks, tree depth) — e.g., 4096 fibers @ radix 64 -> (65, 2)."""
+    if not tasks:
+        return (0, 0)
+    return (len(tasks), max(t.level for t in tasks) + 1)

@@ -1,0 +1,29 @@
+"""Experiment harness: every paper table and figure, regenerable."""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import (
+    MODEL_SCALE,
+    RUNNER,
+    ExperimentRunner,
+    scaled_cpu_config,
+    scaled_gamma_config,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentRunner",
+    "MODEL_SCALE",
+    "RUNNER",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_experiment",
+    "scaled_cpu_config",
+    "scaled_gamma_config",
+]

@@ -1,0 +1,650 @@
+"""One function per paper table/figure, producing its data and a text table.
+
+Every function returns a dict with at least:
+
+* ``rows`` — structured per-matrix (or per-config) records, and
+* ``table`` — a rendered monospace table matching the paper's artifact.
+
+The benchmarks call these and print the tables; EXPERIMENTS.md records the
+measured values against the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.area import (
+    gamma_area,
+    pe_area,
+    pe_component_fractions,
+    merger_area,
+    sparch_merger_area_ratio,
+)
+from repro.analysis.charts import (
+    hbar_chart,
+    scatter_plot,
+    stacked_hbar_chart,
+)
+from repro.analysis.metrics import amean, gmean
+from repro.analysis.report import render_table
+from repro.analysis.roofline import ridge_intensity, roofline_point, roofline_series
+from repro.config import GammaConfig
+from repro.experiments.runner import (
+    MODEL_SCALE,
+    RUNNER,
+    SCALED_FIBERCACHE_BYTES,
+    scaled_gamma_config,
+)
+from repro.matrices import suite
+from repro.matrices.stats import MatrixStats
+
+_TRAFFIC_CATEGORIES = ("A", "B", "C", "partial_read", "partial_write")
+
+
+def _breakdown(name: str, traffic: Dict[str, int]) -> Dict[str, float]:
+    compulsory = RUNNER.compulsory_total(name)
+    return {k: traffic.get(k, 0) / compulsory for k in _TRAFFIC_CATEGORIES}
+
+
+def _gamma_breakdown(name: str, variant: str) -> Dict[str, float]:
+    return _breakdown(name, RUNNER.gamma(name, variant).traffic_bytes)
+
+
+def _traffic_row(name: str) -> Dict:
+    """Per-matrix O/S/G/GP normalized traffic (Figs. 12 and 16)."""
+    row = {"matrix": name}
+    row["OuterSPACE"] = sum(_breakdown(
+        name, RUNNER.baseline("outerspace", name).traffic_bytes).values())
+    row["SpArch"] = sum(_breakdown(
+        name, RUNNER.baseline("sparch", name).traffic_bytes).values())
+    row["G"] = RUNNER.gamma(name, "none").normalized_traffic
+    row["GP"] = RUNNER.gamma(name, "full").normalized_traffic
+    return row
+
+
+def _traffic_figure(names: Sequence[str], figure: str) -> Dict:
+    rows = [_traffic_row(name) for name in names]
+    rows.append({
+        "matrix": "gmean",
+        **{
+            key: gmean([r[key] for r in rows])
+            for key in ("OuterSPACE", "SpArch", "G", "GP")
+        },
+    })
+    table = render_table(
+        ["matrix", "OuterSPACE", "SpArch", "G", "GP"],
+        [[r["matrix"], r["OuterSPACE"], r["SpArch"], r["G"], r["GP"]]
+         for r in rows],
+        title=f"{figure}: off-chip traffic normalized to compulsory "
+              "(lower is better)",
+    )
+    gmeans = rows[-1]
+    chart = hbar_chart(
+        ["OuterSPACE", "SpArch", "G", "GP"],
+        [gmeans[k] for k in ("OuterSPACE", "SpArch", "G", "GP")],
+        title=f"{figure} gmean traffic (x compulsory, lower is better)",
+    )
+    return {"rows": rows, "table": table, "chart": chart}
+
+
+def _speedup_figure(names: Sequence[str], figure: str) -> Dict:
+    rows = []
+    for name in names:
+        gp = RUNNER.gamma(name, "full")
+        rows.append({
+            "matrix": name,
+            "speedup": RUNNER.speedup_over_mkl(name, gp.runtime_seconds),
+        })
+    rows.append({
+        "matrix": "gmean",
+        "speedup": gmean([r["speedup"] for r in rows]),
+    })
+    table = render_table(
+        ["matrix", "speedup vs MKL"],
+        [[r["matrix"], r["speedup"]] for r in rows],
+        precision=1,
+        title=f"{figure}: Gamma (with preprocessing) speedup over MKL",
+    )
+    chart = hbar_chart(
+        [r["matrix"] for r in rows],
+        [r["speedup"] for r in rows],
+        value_format="{:.1f}x",
+        title=f"{figure} speedup over MKL",
+    )
+    return {"rows": rows, "table": table, "chart": chart}
+
+
+def _bandwidth_figure(names: Sequence[str], figure: str) -> Dict:
+    rows = []
+    for name in names:
+        rows.append({
+            "matrix": name,
+            "G": RUNNER.gamma(name, "none").bandwidth_utilization,
+            "GP": RUNNER.gamma(name, "full").bandwidth_utilization,
+        })
+    rows.append({
+        "matrix": "mean",
+        "G": amean([r["G"] for r in rows]),
+        "GP": amean([r["GP"] for r in rows]),
+    })
+    table = render_table(
+        ["matrix", "G", "GP"],
+        [[r["matrix"], r["G"], r["GP"]] for r in rows],
+        title=f"{figure}: memory bandwidth utilization",
+    )
+    chart = hbar_chart(
+        [r["matrix"] for r in rows],
+        [r["GP"] for r in rows],
+        max_value=1.0,
+        title=f"{figure} bandwidth utilization (GP), 1.0 = saturated",
+    )
+    return {"rows": rows, "table": table, "chart": chart}
+
+
+def _cache_util_figure(names: Sequence[str], figure: str) -> Dict:
+    rows = []
+    for name in names:
+        util_g = RUNNER.gamma(name, "none").cache_utilization
+        util_gp = RUNNER.gamma(name, "full").cache_utilization
+        rows.append({
+            "matrix": name,
+            "G_B": util_g["B"], "G_partial": util_g["partial"],
+            "GP_B": util_gp["B"], "GP_partial": util_gp["partial"],
+        })
+    table = render_table(
+        ["matrix", "G:B", "G:partial", "GP:B", "GP:partial"],
+        [[r["matrix"], r["G_B"], r["G_partial"], r["GP_B"], r["GP_partial"]]
+         for r in rows],
+        title=f"{figure}: FiberCache utilization by fiber type",
+    )
+    return {"rows": rows, "table": table}
+
+
+# ----------------------------------------------------------------------
+# Individual figures
+# ----------------------------------------------------------------------
+def fig3() -> Dict:
+    """Fig. 3: traffic of IP/OS/S/G/GP on gupta2 and web-Google."""
+    rows = []
+    for name in ("gupta2", "web-Google"):
+        for label, traffic in (
+            ("IP", RUNNER.baseline("ip", name).traffic_bytes),
+            ("OuterSPACE", RUNNER.baseline("outerspace", name).traffic_bytes),
+            ("SpArch", RUNNER.baseline("sparch", name).traffic_bytes),
+            ("G", RUNNER.gamma(name, "none").traffic_bytes),
+            ("GP", RUNNER.gamma(name, "full").traffic_bytes),
+        ):
+            breakdown = _breakdown(name, traffic)
+            rows.append({
+                "matrix": name, "design": label, **breakdown,
+                "total": sum(breakdown.values()),
+            })
+    table = render_table(
+        ["matrix", "design", "A", "B", "C", "partial", "total"],
+        [[r["matrix"], r["design"], r["A"], r["B"], r["C"],
+          r["partial_read"] + r["partial_write"], r["total"]]
+         for r in rows],
+        title="Fig. 3: normalized off-chip traffic (lower is better)",
+    )
+    chart = stacked_hbar_chart(
+        [f"{r['matrix']}/{r['design']}" for r in rows],
+        [{"A": r["A"], "B": r["B"], "C": r["C"],
+          "partial": r["partial_read"] + r["partial_write"]}
+         for r in rows],
+        ["A", "B", "C", "partial"],
+        title="Fig. 3: traffic breakdown (x compulsory)",
+    )
+    return {"rows": rows, "table": table, "chart": chart}
+
+
+def fig10() -> Dict:
+    """Fig. 10: gmean speedup over MKL on the common set."""
+    designs = {
+        "OuterSPACE": lambda n: RUNNER.baseline(
+            "outerspace", n).runtime_seconds,
+        "SpArch": lambda n: RUNNER.baseline("sparch", n).runtime_seconds,
+        "G": lambda n: RUNNER.gamma(n, "none").runtime_seconds,
+        "GP": lambda n: RUNNER.gamma(n, "full").runtime_seconds,
+    }
+    names = suite.common_set_names()
+    rows = []
+    for label, runtime in designs.items():
+        speedups = [
+            RUNNER.speedup_over_mkl(name, runtime(name)) for name in names
+        ]
+        rows.append({"design": label, "gmean_speedup": gmean(speedups)})
+    table = render_table(
+        ["design", "gmean speedup vs MKL"],
+        [[r["design"], r["gmean_speedup"]] for r in rows],
+        precision=1,
+        title="Fig. 10: gmean speedup over MKL, common set",
+    )
+    chart = hbar_chart(
+        [r["design"] for r in rows],
+        [r["gmean_speedup"] for r in rows],
+        value_format="{:.1f}x",
+        title="Fig. 10: gmean speedup over MKL",
+    )
+    return {"rows": rows, "table": table, "chart": chart}
+
+
+def fig11() -> Dict:
+    return _speedup_figure(suite.common_set_names(), "Fig. 11")
+
+
+def fig12() -> Dict:
+    return _traffic_figure(suite.common_set_names(), "Fig. 12")
+
+
+def fig13() -> Dict:
+    return _bandwidth_figure(suite.common_set_names(), "Fig. 13")
+
+
+def fig14() -> Dict:
+    return _cache_util_figure(suite.common_set_names(), "Fig. 14")
+
+
+def fig15() -> Dict:
+    return _speedup_figure(suite.extended_set_names(), "Fig. 15")
+
+
+def fig16() -> Dict:
+    return _traffic_figure(suite.extended_set_names(), "Fig. 16")
+
+
+def fig17() -> Dict:
+    return _bandwidth_figure(suite.extended_set_names(), "Fig. 17")
+
+
+def fig18() -> Dict:
+    return _cache_util_figure(suite.extended_set_names(), "Fig. 18")
+
+
+def fig19() -> Dict:
+    """Fig. 19: preprocessing ablation on Maragal_7 and sme3Db."""
+    variants = (
+        ("G", "none"),
+        ("+R", "reorder"),
+        ("+R+T", "reorder_tile_all"),
+        ("+R+ST", "full"),
+    )
+    rows = []
+    for name in ("Maragal_7", "sme3Db"):
+        for label, variant in variants:
+            breakdown = _gamma_breakdown(name, variant)
+            rows.append({
+                "matrix": name, "variant": label, **breakdown,
+                "total": sum(breakdown.values()),
+            })
+    table = render_table(
+        ["matrix", "variant", "A", "B", "C", "partial", "total"],
+        [[r["matrix"], r["variant"], r["A"], r["B"], r["C"],
+          r["partial_read"] + r["partial_write"], r["total"]]
+         for r in rows],
+        title="Fig. 19: preprocessing ablations, normalized traffic",
+    )
+    chart = stacked_hbar_chart(
+        [f"{r['matrix']}/{r['variant']}" for r in rows],
+        [{"A": r["A"], "B": r["B"], "C": r["C"],
+          "partial": r["partial_read"] + r["partial_write"]}
+         for r in rows],
+        ["A", "B", "C", "partial"],
+        title="Fig. 19: traffic breakdown (x compulsory)",
+    )
+    return {"rows": rows, "table": table, "chart": chart}
+
+
+def fig20() -> Dict:
+    """Fig. 20: multi-PE vs single-PE-per-row scheduling on email-Enron."""
+    name = "email-Enron"
+    multi = RUNNER.gamma(name, "none", multi_pe=True)
+    single = RUNNER.gamma(name, "none", multi_pe=False)
+    rows = []
+    for label, result in (("multi-PE", multi), ("single-PE", single)):
+        breakdown = _breakdown(name, result.traffic_bytes)
+        rows.append({
+            "scheduler": label, **breakdown,
+            "total": sum(breakdown.values()),
+            "cycles": result.cycles,
+        })
+    speedup = single.cycles / multi.cycles
+    table = render_table(
+        ["scheduler", "A", "B", "C", "partial", "total", "cycles"],
+        [[r["scheduler"], r["A"], r["B"], r["C"],
+          r["partial_read"] + r["partial_write"], r["total"],
+          int(r["cycles"])] for r in rows],
+        title=(f"Fig. 20: scheduling ablation on {name} "
+               f"(multi-PE is {speedup:.2f}x faster)"),
+    )
+    return {"rows": rows, "table": table, "speedup": speedup}
+
+
+def fig21() -> Dict:
+    """Fig. 21: roofline placement of every matrix, G and GP."""
+    points = []
+    for name in suite.common_set_names() + suite.extended_set_names():
+        for variant in ("none", "full"):
+            result = RUNNER.gamma(name, variant)
+            point = roofline_point(f"{name}:{variant}", result)
+            points.append(point)
+    series = roofline_series(points)
+    on_roof = sum(1 for p in points if p.efficiency > 0.8)
+    table = render_table(
+        ["matrix", "intensity", "GFLOP/s", "roof", "efficiency"],
+        [[s["name"], s["intensity"], s["gflops"], s["roof"],
+          s["efficiency"]] for s in series],
+        precision=3,
+        title=(f"Fig. 21: roofline (ridge at "
+               f"{ridge_intensity(scaled_gamma_config()):.2f} FLOP/byte; "
+               f"{on_roof}/{len(points)} points within 80% of the roof)"),
+    )
+    from repro.analysis.roofline import roof_at
+
+    config = scaled_gamma_config()
+    intensities = sorted(p.intensity for p in points)
+    roof_curve = [
+        (x, roof_at(x, config))
+        for x in intensities
+    ]
+    chart = scatter_plot(
+        [(p.intensity, max(p.gflops, 1e-3)) for p in points],
+        curve=roof_curve,
+        log_x=True, log_y=True,
+        title="Fig. 21: roofline — * matrices, - roof",
+    )
+    return {"rows": series, "table": table, "points": points,
+            "chart": chart}
+
+
+def _sweep_figure(names: Sequence[str], figure: str,
+                  configs: Dict[str, GammaConfig]) -> Dict:
+    rows = []
+    for label, config in configs.items():
+        speedups, traffic, bandwidth = [], [], []
+        for name in names:
+            result = RUNNER.gamma(name, "full", config=config)
+            speedups.append(
+                RUNNER.speedup_over_mkl(name, result.runtime_seconds))
+            traffic.append(result.normalized_traffic)
+            bandwidth.append(result.bandwidth_utilization)
+        rows.append({
+            "config": label,
+            "gmean_speedup": gmean(speedups),
+            "mean_traffic": amean(traffic),
+            "mean_bandwidth": amean(bandwidth),
+        })
+    table = render_table(
+        ["config", "gmean speedup", "mean traffic", "mean bw util"],
+        [[r["config"], r["gmean_speedup"], r["mean_traffic"],
+          r["mean_bandwidth"]] for r in rows],
+        title=figure,
+    )
+    chart = hbar_chart(
+        [r["config"] for r in rows],
+        [r["gmean_speedup"] for r in rows],
+        value_format="{:.1f}x",
+        title=f"{figure} — gmean speedup vs MKL",
+    )
+    return {"rows": rows, "table": table, "chart": chart}
+
+
+def _pe_sweep(names: Sequence[str], figure: str) -> Dict:
+    configs = {
+        str(pes): scaled_gamma_config(num_pes=pes)
+        for pes in (8, 16, 32, 64, 128)
+    }
+    return _sweep_figure(names, f"{figure}: PE-count sweep", configs)
+
+
+def _cache_sweep(names: Sequence[str], figure: str) -> Dict:
+    # Paper sizes 0.75 / 1.5 / 3 / 6 / 12 MB, divided by the model scale.
+    configs = {}
+    for paper_mb in (0.75, 1.5, 3.0, 6.0, 12.0):
+        scaled = int(paper_mb * 1024 * 1024 / MODEL_SCALE)
+        configs[f"{paper_mb}MB"] = scaled_gamma_config(
+            fibercache_bytes=scaled)
+    return _sweep_figure(names, f"{figure}: FiberCache-size sweep", configs)
+
+
+def fig22() -> Dict:
+    return _pe_sweep(suite.common_set_names(), "Fig. 22 (common set)")
+
+
+def fig23() -> Dict:
+    return _pe_sweep(suite.extended_set_names(), "Fig. 23 (extended set)")
+
+
+def fig24() -> Dict:
+    return _cache_sweep(suite.common_set_names(), "Fig. 24 (common set)")
+
+
+def fig25() -> Dict:
+    return _cache_sweep(suite.extended_set_names(), "Fig. 25 (extended set)")
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def table1() -> Dict:
+    """Table 1: the evaluated configuration (and its scaled twin)."""
+    paper = GammaConfig()
+    scaled = scaled_gamma_config()
+    rows = [
+        ["PEs", paper.num_pes, scaled.num_pes],
+        ["PE radix", paper.radix, scaled.radix],
+        ["FiberCache (KB)", paper.fibercache_bytes // 1024,
+         scaled.fibercache_bytes // 1024],
+        ["FiberCache ways", paper.fibercache_ways, scaled.fibercache_ways],
+        ["Banks", paper.fibercache_banks, scaled.fibercache_banks],
+        ["Frequency (GHz)", paper.frequency_hz / 1e9,
+         scaled.frequency_hz / 1e9],
+        ["Memory BW (GB/s)", paper.memory_bandwidth_bytes_per_s / 1e9,
+         scaled.memory_bandwidth_bytes_per_s / 1e9],
+    ]
+    table = render_table(
+        ["parameter", "paper", "scaled model"], rows,
+        title=f"Table 1: configuration (model scale 1/{MODEL_SCALE})",
+    )
+    return {"rows": rows, "table": table}
+
+
+def table2() -> Dict:
+    """Table 2: area breakdown from the analytic model vs published."""
+    breakdown = gamma_area()
+    published = {
+        "PEs": 4.8, "Scheduler": 0.11, "FiberCache": 22.6,
+        "Crossbars": 3.1, "Total": 30.6,
+    }
+    model = breakdown.as_dict()
+    rows = [
+        [component, model[component], published[component]]
+        for component in published
+    ]
+    fractions = pe_component_fractions()
+    pe_rows = [
+        ["Merger", merger_area(64), fractions["Merger"]],
+        ["FP Mul", 0.082, fractions["FP Mul"]],
+        ["FP Add", 0.015, fractions["FP Add"]],
+        ["Others", 0.008, fractions["Others"]],
+        ["PE total", pe_area(), 1.0],
+    ]
+    table = (
+        render_table(["component", "model mm^2", "paper mm^2"], rows,
+                     title="Table 2: Gamma area at 45 nm")
+        + "\n\n"
+        + render_table(["PE component", "mm^2", "fraction"], pe_rows,
+                       precision=3)
+        + f"\n\nSpArch merger / FP multiplier area ratio: "
+          f"{sparch_merger_area_ratio():.0f}x (paper: ~38x)"
+    )
+    return {"rows": rows, "pe_rows": pe_rows, "table": table}
+
+
+def _suite_table(specs, title: str) -> Dict:
+    rows = []
+    for spec in specs:
+        matrix = suite.load(spec.name)
+        stats = MatrixStats.of(matrix)
+        rows.append([
+            spec.name,
+            spec.paper_rows,
+            round(spec.paper_npr, 2),
+            stats.rows,
+            round(stats.nnz_per_row_mean, 2),
+            stats.nnz,
+        ])
+    table = render_table(
+        ["matrix", "paper rows", "paper nnz/row", "rows", "nnz/row", "nnz"],
+        rows, title=title,
+    )
+    return {"rows": rows, "table": table}
+
+
+def table3() -> Dict:
+    return _suite_table(
+        suite.COMMON_SET,
+        f"Table 3: common set (scaled stand-ins, 1/{MODEL_SCALE} rows)")
+
+
+def table4() -> Dict:
+    return _suite_table(
+        suite.EXTENDED_SET,
+        f"Table 4: extended set (scaled stand-ins)")
+
+
+# ----------------------------------------------------------------------
+# Extensions beyond the paper's figures
+# ----------------------------------------------------------------------
+def ext_matraptor() -> Dict:
+    """Sec. 7 discussion, quantified: MatRaptor vs Gamma on the common set.
+
+    The paper argues MatRaptor (a concurrent Gustavson accelerator that
+    does not reuse B fibers) improves on OuterSPACE by only 1.8x, while
+    Gamma achieves 6.6x even without preprocessing.
+    """
+    from repro.baselines.matraptor import run_matraptor_model
+    from repro.experiments.runner import scaled_gamma_config
+    from repro.matrices import suite as matrix_suite
+
+    names = matrix_suite.common_set_names()
+    rows = []
+    for name in names:
+        a, b = matrix_suite.operands(name)
+        c_nnz = RUNNER.c_nnz(name)
+        matraptor = run_matraptor_model(
+            a, b, scaled_gamma_config(), c_nnz)
+        outerspace = RUNNER.baseline("outerspace", name)
+        gamma = RUNNER.gamma(name, "none")
+        mkl = RUNNER.baseline("mkl", name)
+        rows.append({
+            "matrix": name,
+            "matraptor_vs_os": (outerspace.runtime_seconds
+                                / matraptor.runtime_seconds),
+            "gamma_vs_os": (outerspace.runtime_seconds
+                            / gamma.runtime_seconds),
+            "matraptor_traffic": (matraptor.total_traffic
+                                  / RUNNER.compulsory_total(name)),
+            "gamma_traffic": gamma.normalized_traffic,
+        })
+    summary = {
+        "matrix": "gmean",
+        "matraptor_vs_os": gmean([r["matraptor_vs_os"] for r in rows]),
+        "gamma_vs_os": gmean([r["gamma_vs_os"] for r in rows]),
+        "matraptor_traffic": gmean([r["matraptor_traffic"] for r in rows]),
+        "gamma_traffic": gmean([r["gamma_traffic"] for r in rows]),
+    }
+    rows.append(summary)
+    table = render_table(
+        ["matrix", "MatRaptor vs OS", "Gamma vs OS",
+         "MatRaptor traffic", "Gamma traffic"],
+        [[r["matrix"], r["matraptor_vs_os"], r["gamma_vs_os"],
+          r["matraptor_traffic"], r["gamma_traffic"]] for r in rows],
+        title=("Extension (Sec. 7): MatRaptor, a Gustavson design without "
+               "B reuse"),
+    )
+    return {"rows": rows, "table": table}
+
+
+def ext_dataflows() -> Dict:
+    """Sec. 2.2 quantified: per-dataflow work on a sparse vs denser input.
+
+    Executes all three dataflows functionally and counts effectual
+    multiplies, ineffectual intersection comparisons, and intermediate
+    footprints — the algorithmic properties Fig. 2's comparison rests on.
+    """
+    from repro.baselines.dataflows import compare_dataflows
+    from repro.matrices import suite as matrix_suite
+
+    rows = []
+    for name in ("p2p-Gnutella31", "wiki-Vote", "poisson3Da"):
+        a, b = matrix_suite.operands(name)
+        for dataflow, counts in compare_dataflows(a, b).items():
+            rows.append({
+                "matrix": name,
+                "dataflow": dataflow,
+                "effectual": counts.effectual_multiplies,
+                "ineffectual": counts.ineffectual_comparisons,
+                "merge": counts.merge_elements,
+                "intermediate": counts.intermediate_elements,
+            })
+    table = render_table(
+        ["matrix", "dataflow", "effectual", "ineffectual", "merge",
+         "peak intermediate"],
+        [[r["matrix"], r["dataflow"], r["effectual"], r["ineffectual"],
+          r["merge"], r["intermediate"]] for r in rows],
+        precision=0,
+        title=("Extension (Sec. 2.2): work counts of the three spMspM "
+               "dataflows"),
+    )
+    return {"rows": rows, "table": table}
+
+
+def ext_energy() -> Dict:
+    """Extension: energy comparison across designs (parametric model).
+
+    The paper argues from traffic; energy follows it, since spMspM's
+    energy is data-movement dominated. Charges the per-operation energy
+    model (``repro.analysis.energy``) against each design's simulated
+    counters on the common set.
+    """
+    from repro.analysis.energy import estimate_energy
+    from repro.matrices import suite as matrix_suite
+
+    designs = {
+        "OuterSPACE": lambda n: RUNNER.baseline("outerspace", n),
+        "SpArch": lambda n: RUNNER.baseline("sparch", n),
+        "Gamma": lambda n: RUNNER.gamma(n, "none"),
+        "Gamma+pre": lambda n: RUNNER.gamma(n, "full"),
+    }
+    names = matrix_suite.common_set_names()
+    rows = []
+    for label, fetch in designs.items():
+        energies = []
+        dram_shares = []
+        for name in names:
+            result = fetch(name)
+            breakdown = estimate_energy(result)
+            energies.append(breakdown.total_uj)
+            dram_shares.append(breakdown.fractions()["dram"])
+        rows.append({
+            "design": label,
+            "gmean_energy_uj": gmean(energies),
+            "mean_dram_share": amean(dram_shares),
+        })
+    baseline = rows[0]["gmean_energy_uj"]
+    for row in rows:
+        row["relative"] = row["gmean_energy_uj"] / baseline
+    table = render_table(
+        ["design", "gmean energy (uJ)", "vs OuterSPACE",
+         "DRAM share"],
+        [[r["design"], r["gmean_energy_uj"], r["relative"],
+          r["mean_dram_share"]] for r in rows],
+        title=("Extension: energy across designs, common set "
+               "(parametric 45 nm-class model)"),
+    )
+    chart = hbar_chart(
+        [r["design"] for r in rows],
+        [r["gmean_energy_uj"] for r in rows],
+        title="Extension: gmean energy per spMspM (uJ, lower is better)",
+    )
+    return {"rows": rows, "table": table, "chart": chart}

@@ -1,0 +1,121 @@
+"""Incremental COO builder that assembles CsrMatrix instances.
+
+Generators and the Matrix Market reader accumulate (row, col, value) triples
+here; ``build()`` sorts, deduplicates (summing), and emits CSR.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.matrices.csr import CsrMatrix
+
+
+class CooBuilder:
+    """Accumulates coordinate triples and builds a CsrMatrix.
+
+    Args:
+        num_rows: Matrix row count.
+        num_cols: Matrix column count.
+    """
+
+    def __init__(self, num_rows: int, num_cols: int) -> None:
+        if num_rows < 0 or num_cols < 0:
+            raise ValueError(f"negative shape ({num_rows}, {num_cols})")
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self._rows: list = []
+        self._cols: list = []
+        self._vals: list = []
+
+    def add(self, row: int, col: int, value: float) -> None:
+        """Add one entry; duplicates are summed at build time."""
+        if not (0 <= row < self.num_rows):
+            raise IndexError(f"row {row} out of range [0, {self.num_rows})")
+        if not (0 <= col < self.num_cols):
+            raise IndexError(f"col {col} out of range [0, {self.num_cols})")
+        self._rows.append(row)
+        self._cols.append(col)
+        self._vals.append(value)
+
+    def add_many(
+        self,
+        rows: Iterable[int] | np.ndarray,
+        cols: Iterable[int] | np.ndarray,
+        values: Iterable[float] | np.ndarray,
+    ) -> None:
+        """Vectorized bulk insertion."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (len(rows) == len(cols) == len(values)):
+            raise ValueError("rows/cols/values length mismatch")
+        if len(rows):
+            if rows.min() < 0 or rows.max() >= self.num_rows:
+                raise IndexError("row index out of range")
+            if cols.min() < 0 or cols.max() >= self.num_cols:
+                raise IndexError("col index out of range")
+        self._rows.extend(rows.tolist())
+        self._cols.extend(cols.tolist())
+        self._vals.extend(values.tolist())
+
+    @property
+    def num_entries(self) -> int:
+        """Entries added so far (before deduplication)."""
+        return len(self._rows)
+
+    def build(self, drop_zeros: bool = True) -> CsrMatrix:
+        """Sort, merge duplicates, and emit a CsrMatrix.
+
+        Args:
+            drop_zeros: Remove entries whose merged value is exactly zero.
+        """
+        rows = np.asarray(self._rows, dtype=np.int64)
+        cols = np.asarray(self._cols, dtype=np.int64)
+        vals = np.asarray(self._vals, dtype=np.float64)
+        if len(rows) == 0:
+            offsets = np.zeros(self.num_rows + 1, dtype=np.int64)
+            return CsrMatrix((self.num_rows, self.num_cols), offsets,
+                             rows, vals, check=False)
+        keys = rows * self.num_cols + cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = vals[order]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        merged = np.zeros(len(unique_keys), dtype=np.float64)
+        np.add.at(merged, inverse, vals)
+        out_rows = unique_keys // self.num_cols
+        out_cols = unique_keys % self.num_cols
+        if drop_zeros:
+            keep = merged != 0.0
+            out_rows, out_cols, merged = (
+                out_rows[keep], out_cols[keep], merged[keep]
+            )
+        counts = np.bincount(out_rows, minlength=self.num_rows)
+        offsets = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return CsrMatrix((self.num_rows, self.num_cols), offsets,
+                         out_cols, merged, check=False)
+
+
+def random_values(
+    rng: np.random.Generator, count: int, low: float = 0.1, high: float = 1.0
+) -> np.ndarray:
+    """Uniform nonzero values in [low, high); avoids accidental zeros."""
+    if low <= 0:
+        raise ValueError("low must be positive to guarantee nonzeros")
+    return rng.uniform(low, high, size=count)
+
+
+def matrix_from_coo(
+    num_rows: int,
+    num_cols: int,
+    triples: Iterable[Tuple[int, int, float]],
+) -> CsrMatrix:
+    """One-shot assembly from an iterable of (row, col, value)."""
+    builder = CooBuilder(num_rows, num_cols)
+    for row, col, value in triples:
+        builder.add(row, col, value)
+    return builder.build()

@@ -1,0 +1,214 @@
+"""Sparse fibers: the unit of data Gamma streams and merges.
+
+A fiber is an ordered list of (coordinate, value) pairs — a compressed row or
+column of a sparse matrix, or a partial output produced by a PE (paper Fig. 1
+and Sec. 2.1). Coordinates are strictly increasing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import ELEMENT_BYTES
+
+
+class Fiber:
+    """An immutable sorted list of (coordinate, value) pairs.
+
+    Args:
+        coords: Strictly increasing integer coordinates.
+        values: Nonzero values, same length as ``coords``.
+        check: Validate sortedness and shapes (disable in hot paths).
+    """
+
+    __slots__ = ("coords", "values")
+
+    def __init__(
+        self,
+        coords: Sequence[int] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+        check: bool = True,
+    ) -> None:
+        self.coords = np.asarray(coords, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if check:
+            if self.coords.ndim != 1 or self.values.ndim != 1:
+                raise ValueError("coords and values must be 1-D")
+            if len(self.coords) != len(self.values):
+                raise ValueError(
+                    f"length mismatch: {len(self.coords)} coords vs "
+                    f"{len(self.values)} values"
+                )
+            if len(self.coords) > 1 and not np.all(np.diff(self.coords) > 0):
+                raise ValueError("coordinates must be strictly increasing")
+            if len(self.coords) and self.coords[0] < 0:
+                raise ValueError("coordinates must be non-negative")
+
+    @staticmethod
+    def empty() -> "Fiber":
+        return _EMPTY
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Tuple[int, float]]) -> "Fiber":
+        """Build a fiber from (coord, value) pairs in any order.
+
+        Duplicate coordinates are summed, and resulting zeros are kept
+        (explicit zeros are representable, as in CSR).
+        """
+        items = sorted(pairs)
+        coords: List[int] = []
+        values: List[float] = []
+        for coord, value in items:
+            if coords and coords[-1] == coord:
+                values[-1] += value
+            else:
+                coords.append(coord)
+                values.append(value)
+        return Fiber(coords, values, check=False)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return zip(self.coords.tolist(), self.values.tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fiber):
+            return NotImplemented
+        return bool(
+            len(self) == len(other)
+            and np.array_equal(self.coords, other.coords)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"({c}, {v:g})" for c, v in list(self)[:4]
+        )
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"Fiber([{preview}{suffix}], nnz={len(self)})"
+
+    @property
+    def nbytes(self) -> int:
+        """Footprint in the paper's storage format (12 B per element)."""
+        return len(self) * ELEMENT_BYTES
+
+    def scale(self, factor: float) -> "Fiber":
+        """Return this fiber with every value multiplied by ``factor``."""
+        return Fiber(self.coords, self.values * factor, check=False)
+
+    def drop_zeros(self, tol: float = 0.0) -> "Fiber":
+        """Return a fiber without entries whose |value| <= tol."""
+        keep = np.abs(self.values) > tol
+        if keep.all():
+            return self
+        return Fiber(self.coords[keep], self.values[keep], check=False)
+
+    def dot(self, other: "Fiber") -> float:
+        """Sparse dot product (the inner-product dataflow's intersection)."""
+        result = 0.0
+        i = j = 0
+        a_coords, a_values = self.coords, self.values
+        b_coords, b_values = other.coords, other.values
+        while i < len(a_coords) and j < len(b_coords):
+            ca, cb = a_coords[i], b_coords[j]
+            if ca == cb:
+                result += a_values[i] * b_values[j]
+                i += 1
+                j += 1
+            elif ca < cb:
+                i += 1
+            else:
+                j += 1
+        return result
+
+
+_EMPTY = Fiber(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64),
+               check=False)
+
+
+def linear_combine(fibers: Sequence[Fiber],
+                   scales: Sequence[float],
+                   semiring=None) -> Fiber:
+    """Linearly combine fibers: the functional job of one Gamma PE pass.
+
+    Computes ``add_i mul(scales[i], fibers[i])`` as a new fiber whose
+    coordinates are the union of the inputs' coordinates (Sec. 3:
+    C_m = sum_k a_mk * B_k in the arithmetic semiring).
+
+    Args:
+        fibers: Input fibers (rows of B or partial output fibers).
+        scales: One scaling factor per fiber (a_mk for B rows, the
+            semiring's multiplicative identity for partial outputs).
+        semiring: Scalar algebra; None selects ordinary (+, x).
+
+    Returns:
+        The combined output fiber. Entries that cancel to exactly the
+        semiring's zero are kept, matching hardware behaviour (the
+        accumulator emits whatever sum it holds when the coordinate
+        changes).
+    """
+    if len(fibers) != len(scales):
+        raise ValueError(
+            f"{len(fibers)} fibers but {len(scales)} scaling factors"
+        )
+    if semiring is not None and not semiring.is_arithmetic:
+        return _combine_semiring(fibers, scales, semiring)
+    nonempty = [(f, s) for f, s in zip(fibers, scales) if len(f)]
+    if not nonempty:
+        return Fiber.empty()
+    if len(nonempty) == 1:
+        fiber, scale = nonempty[0]
+        return fiber.scale(scale)
+    total = sum(len(f) for f, _ in nonempty)
+    if total <= 128:
+        # Small merges (the common case for sparse rows) are faster with a
+        # plain dict accumulator than with numpy set machinery.
+        accumulator: dict = {}
+        for fiber, scale in nonempty:
+            coords = fiber.coords.tolist()
+            values = fiber.values.tolist()
+            for coord, value in zip(coords, values):
+                accumulator[coord] = (
+                    accumulator.get(coord, 0.0) + scale * value
+                )
+        merged_coords = sorted(accumulator)
+        return Fiber(
+            np.asarray(merged_coords, dtype=np.int64),
+            np.asarray([accumulator[c] for c in merged_coords]),
+            check=False,
+        )
+    all_coords = np.concatenate([f.coords for f, _ in nonempty])
+    all_values = np.concatenate(
+        [f.values * s for f, s in nonempty]
+    )
+    order = np.argsort(all_coords, kind="stable")
+    sorted_coords = all_coords[order]
+    sorted_values = all_values[order]
+    unique_coords, inverse = np.unique(sorted_coords, return_inverse=True)
+    summed = np.zeros(len(unique_coords), dtype=np.float64)
+    np.add.at(summed, inverse, sorted_values)
+    return Fiber(unique_coords, summed, check=False)
+
+
+def _combine_semiring(fibers: Sequence[Fiber], scales: Sequence[float],
+                      semiring) -> Fiber:
+    """Generic linear combination under an arbitrary semiring."""
+    accumulator: dict = {}
+    add, mul = semiring.add, semiring.mul
+    for fiber, scale in zip(fibers, scales):
+        for coord, value in zip(fiber.coords.tolist(),
+                                fiber.values.tolist()):
+            product = mul(scale, value)
+            if coord in accumulator:
+                accumulator[coord] = add(accumulator[coord], product)
+            else:
+                accumulator[coord] = product
+    coords = sorted(accumulator)
+    return Fiber(
+        np.asarray(coords, dtype=np.int64),
+        np.asarray([accumulator[c] for c in coords], dtype=np.float64),
+        check=False,
+    )

@@ -1,0 +1,142 @@
+"""Matrix Market (.mtx) reader/writer, implemented from scratch.
+
+Supports the coordinate format with real/integer/pattern fields and
+general/symmetric symmetry — enough to round-trip every matrix this repo
+produces and to ingest real SuiteSparse files when available offline.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.matrices.builder import CooBuilder
+from repro.matrices.csr import CsrMatrix
+
+_HEADER_PREFIX = "%%MatrixMarket"
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric"}
+
+
+class MatrixMarketError(ValueError):
+    """Raised for malformed or unsupported Matrix Market content."""
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> CsrMatrix:
+    """Parse a Matrix Market file into a CsrMatrix.
+
+    Args:
+        source: Path to a .mtx file, or an open text stream.
+
+    Raises:
+        MatrixMarketError: On malformed input or unsupported variants
+            (only sparse coordinate real/integer/pattern matrices with
+            general or symmetric symmetry are supported).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as stream:
+            return read_matrix_market(stream)
+    return _parse(source)
+
+
+def _parse(stream: TextIO) -> CsrMatrix:
+    header = stream.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise MatrixMarketError(f"missing {_HEADER_PREFIX} header")
+    tokens = header.strip().split()
+    if len(tokens) != 5:
+        raise MatrixMarketError(f"malformed header: {header!r}")
+    _, obj, fmt, field, symmetry = (t.lower() for t in tokens)
+    if obj != "matrix" or fmt != "coordinate":
+        raise MatrixMarketError(
+            f"only coordinate matrices supported, got {obj}/{fmt}"
+        )
+    if field not in _SUPPORTED_FIELDS:
+        raise MatrixMarketError(f"unsupported field type {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = _next_data_line(stream)
+    if size_line is None:
+        raise MatrixMarketError("missing size line")
+    parts = size_line.split()
+    if len(parts) != 3:
+        raise MatrixMarketError(f"malformed size line: {size_line!r}")
+    num_rows, num_cols, nnz = (int(p) for p in parts)
+
+    builder = CooBuilder(num_rows, num_cols)
+    entries_read = 0
+    while entries_read < nnz:
+        line = _next_data_line(stream)
+        if line is None:
+            raise MatrixMarketError(
+                f"expected {nnz} entries, found {entries_read}"
+            )
+        fields = line.split()
+        if field == "pattern":
+            if len(fields) != 2:
+                raise MatrixMarketError(f"malformed pattern entry: {line!r}")
+            row, col = int(fields[0]) - 1, int(fields[1]) - 1
+            value = 1.0
+        else:
+            if len(fields) != 3:
+                raise MatrixMarketError(f"malformed entry: {line!r}")
+            row, col = int(fields[0]) - 1, int(fields[1]) - 1
+            value = float(fields[2])
+        builder.add(row, col, value)
+        if symmetry == "symmetric" and row != col:
+            builder.add(col, row, value)
+        entries_read += 1
+    return builder.build(drop_zeros=False)
+
+
+def _next_data_line(stream: TextIO):
+    """Next non-comment, non-blank line, or None at EOF."""
+    for line in stream:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            return stripped
+    return None
+
+
+def write_matrix_market(
+    matrix: CsrMatrix, destination: Union[str, Path, TextIO],
+    comment: str = "",
+) -> None:
+    """Write a CsrMatrix in coordinate/real/general Matrix Market format."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="ascii") as stream:
+            write_matrix_market(matrix, stream, comment=comment)
+        return
+    stream = destination
+    stream.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+    for line in comment.splitlines():
+        stream.write(f"% {line}\n")
+    stream.write(f"{matrix.num_rows} {matrix.num_cols} {matrix.nnz}\n")
+    for row in range(matrix.num_rows):
+        start, end = matrix.offsets[row], matrix.offsets[row + 1]
+        for idx in range(start, end):
+            stream.write(
+                f"{row + 1} {matrix.coords[idx] + 1} "
+                f"{matrix.values[idx]:.17g}\n"
+            )
+
+
+def matrix_market_string(matrix: CsrMatrix, comment: str = "") -> str:
+    """Serialize to an in-memory Matrix Market string."""
+    buffer = io.StringIO()
+    write_matrix_market(matrix, buffer, comment=comment)
+    return buffer.getvalue()
+
+
+def roundtrip_equal(a: CsrMatrix, b: CsrMatrix, tol: float = 1e-12) -> bool:
+    """Structural + numeric equality up to a tolerance (IO test helper)."""
+    return bool(
+        a.shape == b.shape
+        and np.array_equal(a.offsets, b.offsets)
+        and np.array_equal(a.coords, b.coords)
+        and np.allclose(a.values, b.values, atol=tol, rtol=0)
+    )

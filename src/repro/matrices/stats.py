@@ -1,0 +1,106 @@
+"""Matrix structure statistics used across the evaluation.
+
+Includes the affinity score functions from paper Sec. 4.1 (Eq. 1-3), which
+the reordering preprocessor maximizes and the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import ELEMENT_BYTES
+from repro.matrices.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of one sparse matrix."""
+
+    rows: int
+    cols: int
+    nnz: int
+    density: float
+    nnz_per_row_mean: float
+    nnz_per_row_max: int
+    nnz_per_row_std: float
+    footprint_bytes: int
+
+    @staticmethod
+    def of(matrix: CsrMatrix) -> "MatrixStats":
+        lengths = matrix.row_lengths()
+        return MatrixStats(
+            rows=matrix.num_rows,
+            cols=matrix.num_cols,
+            nnz=matrix.nnz,
+            density=matrix.density,
+            nnz_per_row_mean=float(lengths.mean()) if len(lengths) else 0.0,
+            nnz_per_row_max=int(lengths.max()) if len(lengths) else 0,
+            nnz_per_row_std=float(lengths.std()) if len(lengths) else 0.0,
+            footprint_bytes=matrix.nbytes,
+        )
+
+
+def row_affinity(matrix: CsrMatrix, i: int, j: int) -> int:
+    """s(i, j) from Eq. 1: shared nonzero coordinates of rows i and j."""
+    a = matrix.row(i).coords
+    b = matrix.row(j).coords
+    return int(len(np.intersect1d(a, b, assume_unique=True)))
+
+
+def window_size(matrix_b: CsrMatrix, fibercache_bytes: int) -> int:
+    """W from Eq. 2: B rows that fit in the FiberCache on average."""
+    avg_row = matrix_b.nnz / max(1, matrix_b.num_rows)
+    denominator = max(1.0, avg_row * ELEMENT_BYTES)
+    return max(1, int(fibercache_bytes / denominator))
+
+
+def matrix_affinity(matrix: CsrMatrix, window: int) -> int:
+    """F from Eq. 3: total affinity of rows with their preceding window.
+
+    Computed with a sliding multiset of column counts so it runs in
+    O(nnz * window-turnover) rather than O(rows^2).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    counts: Dict[int, int] = {}
+    total = 0
+    history: List[np.ndarray] = []
+    for row in range(matrix.num_rows):
+        coords = matrix.row(row).coords
+        for coord in coords.tolist():
+            total += counts.get(coord, 0)
+        for coord in coords.tolist():
+            counts[coord] = counts.get(coord, 0) + 1
+        history.append(coords)
+        if len(history) > window:
+            old = history.pop(0)
+            for coord in old.tolist():
+                remaining = counts[coord] - 1
+                if remaining:
+                    counts[coord] = remaining
+                else:
+                    del counts[coord]
+    return total
+
+
+def flops(a: CsrMatrix, b: CsrMatrix) -> int:
+    """Multiply-accumulate count of A x B (each MAC = 1 FLOP, Sec. 6.5)."""
+    if a.num_cols != b.num_rows:
+        raise ValueError(
+            f"inner dimensions differ: {a.shape} x {b.shape}"
+        )
+    b_lengths = b.row_lengths()
+    if a.nnz == 0:
+        return 0
+    return int(b_lengths[a.coords].sum())
+
+
+def reuse_factor(a: CsrMatrix, b: CsrMatrix) -> float:
+    """Average times each touched row of B is consumed (Gustavson reuse)."""
+    if a.nnz == 0:
+        return 0.0
+    touched = np.unique(a.coords)
+    return a.nnz / len(touched)

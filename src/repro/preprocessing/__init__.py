@@ -1,0 +1,28 @@
+"""Preprocessing for Gamma: affinity reordering and selective tiling."""
+
+from repro.preprocessing.pipeline import (
+    PreprocessReport,
+    preprocess,
+    preprocess_with_report,
+)
+from repro.preprocessing.pqueue import IndexedMaxHeap
+from repro.preprocessing.reorder import affinity_reorder, reorder_for_gamma
+from repro.preprocessing.tiling import (
+    RowFragment,
+    estimate_row_footprint,
+    split_row,
+    tile_matrix,
+)
+
+__all__ = [
+    "IndexedMaxHeap",
+    "PreprocessReport",
+    "RowFragment",
+    "affinity_reorder",
+    "estimate_row_footprint",
+    "preprocess",
+    "preprocess_with_report",
+    "reorder_for_gamma",
+    "split_row",
+    "tile_matrix",
+]

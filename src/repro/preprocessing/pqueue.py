@@ -1,0 +1,233 @@
+"""Indexed max-priority queue with incKey/decKey, for Algorithm 1.
+
+The affinity-based reordering algorithm (paper Sec. 4.1) needs a priority
+queue over candidate rows supporting increment, decrement, removal, and
+pop-max — a classic addressable binary heap, implemented here from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+
+class BucketQueue:
+    """Max-priority queue over small non-negative integer keys.
+
+    incKey/decKey move items between adjacent buckets in O(1); pop-max
+    scans down from the current maximum. This is the right structure for
+    Algorithm 1, whose keys are affinity *counts* updated by +-1 — it
+    replaces O(log n) heap sifts with dict operations.
+
+    Iteration order within a bucket is insertion order, so results are
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: List[Dict[Hashable, None]] = [dict()]
+        self._keys: Dict[Hashable, int] = {}
+        self._max_key = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._keys
+
+    def insert(self, item: Hashable, key: int = 0) -> None:
+        if item in self._keys:
+            raise KeyError(f"{item!r} already in queue")
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        self._ensure_bucket(key)
+        self._buckets[key][item] = None
+        self._keys[item] = key
+        if key > self._max_key:
+            self._max_key = key
+
+    def key_of(self, item: Hashable) -> int:
+        return self._keys[item]
+
+    def _ensure_bucket(self, key: int) -> None:
+        while len(self._buckets) <= key:
+            self._buckets.append(dict())
+
+    def inc_key(self, item: Hashable, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("inc_key requires a non-negative delta")
+        key = self._keys[item]
+        new_key = key + delta
+        del self._buckets[key][item]
+        self._ensure_bucket(new_key)
+        self._buckets[new_key][item] = None
+        self._keys[item] = new_key
+        if new_key > self._max_key:
+            self._max_key = new_key
+
+    def dec_key(self, item: Hashable, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("dec_key requires a non-negative delta")
+        key = self._keys[item]
+        new_key = key - delta
+        if new_key < 0:
+            raise ValueError(f"key of {item!r} would become negative")
+        del self._buckets[key][item]
+        self._buckets[new_key][item] = None
+        self._keys[item] = new_key
+
+    def remove(self, item: Hashable) -> None:
+        key = self._keys.pop(item)
+        del self._buckets[key][item]
+
+    def pop(self) -> Hashable:
+        """Remove and return the earliest-inserted item of maximum key."""
+        if not self._keys:
+            raise IndexError("pop from an empty queue")
+        while not self._buckets[self._max_key]:
+            self._max_key -= 1
+        bucket = self._buckets[self._max_key]
+        item = next(iter(bucket))
+        del bucket[item]
+        del self._keys[item]
+        return item
+
+    def peek(self) -> Tuple[Hashable, int]:
+        if not self._keys:
+            raise IndexError("peek into an empty queue")
+        max_key = self._max_key
+        while not self._buckets[max_key]:
+            max_key -= 1
+        return next(iter(self._buckets[max_key])), max_key
+
+
+class IndexedMaxHeap:
+    """Max-heap keyed by arbitrary hashable items with addressable updates.
+
+    Ties break toward the item inserted earliest, making the reordering
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[float] = []
+        self._items: List[Hashable] = []
+        self._ages: List[int] = []
+        self._pos: Dict[Hashable, int] = {}
+        self._age_counter = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def insert(self, item: Hashable, key: float = 0.0) -> None:
+        """Add an item; raises if already present."""
+        if item in self._pos:
+            raise KeyError(f"{item!r} already in heap")
+        self._keys.append(key)
+        self._items.append(item)
+        self._ages.append(self._age_counter)
+        self._age_counter += 1
+        index = len(self._items) - 1
+        self._pos[item] = index
+        self._sift_up(index)
+
+    def key_of(self, item: Hashable) -> float:
+        return self._keys[self._pos[item]]
+
+    def inc_key(self, item: Hashable, delta: float = 1.0) -> None:
+        """Increase an item's key (Algorithm 1's incKey)."""
+        if delta < 0:
+            raise ValueError("inc_key requires a non-negative delta")
+        index = self._pos[item]
+        self._keys[index] += delta
+        self._sift_up(index)
+
+    def dec_key(self, item: Hashable, delta: float = 1.0) -> None:
+        """Decrease an item's key (Algorithm 1's decKey)."""
+        if delta < 0:
+            raise ValueError("dec_key requires a non-negative delta")
+        index = self._pos[item]
+        self._keys[index] -= delta
+        self._sift_down(index)
+
+    def remove(self, item: Hashable) -> None:
+        """Delete an item from the heap."""
+        index = self._pos[item]
+        self._swap(index, len(self._items) - 1)
+        self._drop_last()
+        if index < len(self._items):
+            self._sift_down(index)
+            self._sift_up(index)
+
+    def peek(self) -> Tuple[Hashable, float]:
+        """The max item and its key, without removing it."""
+        if not self._items:
+            raise IndexError("peek into an empty heap")
+        return self._items[0], self._keys[0]
+
+    def pop(self) -> Hashable:
+        """Remove and return the item with the maximum key."""
+        if not self._items:
+            raise IndexError("pop from an empty heap")
+        item = self._items[0]
+        self._swap(0, len(self._items) - 1)
+        self._drop_last()
+        if self._items:
+            self._sift_down(0)
+        return item
+
+    # ------------------------------------------------------------------
+    def _drop_last(self) -> None:
+        item = self._items.pop()
+        self._keys.pop()
+        self._ages.pop()
+        del self._pos[item]
+
+    def _precedes(self, i: int, j: int) -> bool:
+        """True when slot i should sit above slot j."""
+        if self._keys[i] != self._keys[j]:
+            return self._keys[i] > self._keys[j]
+        return self._ages[i] < self._ages[j]
+
+    def _swap(self, i: int, j: int) -> None:
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._items[i], self._items[j] = self._items[j], self._items[i]
+        self._ages[i], self._ages[j] = self._ages[j], self._ages[i]
+        self._pos[self._items[i]] = i
+        self._pos[self._items[j]] = j
+
+    def _sift_up(self, index: int) -> None:
+        while index > 0:
+            parent = (index - 1) // 2
+            if self._precedes(index, parent):
+                self._swap(index, parent)
+                index = parent
+            else:
+                return
+
+    def _sift_down(self, index: int) -> None:
+        size = len(self._items)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            best = index
+            if left < size and self._precedes(left, best):
+                best = left
+            if right < size and self._precedes(right, best):
+                best = right
+            if best == index:
+                return
+            self._swap(index, best)
+            index = best
+
+    def validate(self) -> None:
+        """Check heap invariants (test helper)."""
+        for index in range(1, len(self._items)):
+            parent = (index - 1) // 2
+            if self._precedes(index, parent):
+                raise AssertionError(
+                    f"heap property violated at {index} vs parent {parent}"
+                )
+        for item, index in self._pos.items():
+            if self._items[index] != item:
+                raise AssertionError(f"position map stale for {item!r}")

@@ -1,0 +1,174 @@
+"""Selective coordinate-space tiling of dense A rows (paper Sec. 4.2).
+
+Rows of A whose estimated B footprint exceeds a fraction of the FiberCache
+are split into up to ``radix`` subrows by *even splits of the column
+coordinate space* — not even nonzero counts — because coordinate-space
+subrows retain more affinity. Oversized subrows are split again recursively.
+Sparse rows are left alone: tiling them would create partial output fibers
+whose spill traffic exceeds the B-reuse gain (the "+T" pathology of
+Fig. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ELEMENT_BYTES, GammaConfig
+from repro.matrices.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class RowFragment:
+    """A contiguous coordinate-space slice of one A row.
+
+    Attributes:
+        row: Original row index.
+        coords: Column coordinates in this fragment.
+        values: Matching A values.
+    """
+
+    row: int
+    coords: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return len(self.coords)
+
+
+def estimate_row_footprint(
+    row_nnz: int, avg_b_row_nnz: float
+) -> float:
+    """Estimated bytes of B rows one A row pulls into the FiberCache.
+
+    The paper estimates footprint as the A row's length times the average
+    nonzeros per row of B (Sec. 4.2).
+    """
+    return row_nnz * avg_b_row_nnz * ELEMENT_BYTES
+
+
+def split_row(
+    coords: np.ndarray,
+    values: np.ndarray,
+    coord_lo: int,
+    coord_hi: int,
+    radix: int,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """One round of coordinate-space splitting into up to ``radix`` subrows.
+
+    Splits the coordinate range [coord_lo, coord_hi) into ``radix`` even
+    subranges and buckets the nonzeros; empty subranges produce no subrow.
+    """
+    if coord_hi <= coord_lo:
+        raise ValueError(f"empty coordinate range [{coord_lo}, {coord_hi})")
+    span = coord_hi - coord_lo
+    # Bucket of each nonzero: floor((c - lo) * radix / span).
+    buckets = ((coords - coord_lo) * radix) // span
+    buckets = np.clip(buckets, 0, radix - 1)
+    fragments = []
+    for bucket in range(radix):
+        mask = buckets == bucket
+        if mask.any():
+            fragments.append((coords[mask], values[mask]))
+    return fragments
+
+
+def tile_matrix(
+    a: CsrMatrix,
+    avg_b_row_nnz: float,
+    config: Optional[GammaConfig] = None,
+    threshold_fraction: float = 0.25,
+    threshold_bytes: Optional[float] = None,
+    selective: bool = True,
+) -> List[RowFragment]:
+    """Tile A's rows, returning fragments in row order.
+
+    Args:
+        a: The A matrix.
+        avg_b_row_nnz: Mean nonzeros per row of B (footprint estimate).
+        config: System parameters (FiberCache size, PE radix).
+        threshold_fraction: Split rows whose estimated footprint exceeds
+            this fraction of the FiberCache (0.25 in the paper).
+        threshold_bytes: Absolute footprint threshold overriding the
+            fraction (used by scaled-suite experiments).
+        selective: When False, every multi-nonzero row is split once —
+            the "+T" ablation.
+
+    Returns:
+        Row fragments; untouched rows appear as single whole-row fragments.
+        Empty rows produce no fragment.
+    """
+    config = config or GammaConfig()
+    if threshold_bytes is None:
+        threshold_bytes = threshold_fraction * config.fibercache_bytes
+    fragments: List[RowFragment] = []
+    for row in range(a.num_rows):
+        start, end = a.offsets[row], a.offsets[row + 1]
+        if start == end:
+            continue
+        coords = a.coords[start:end]
+        values = a.values[start:end]
+        if selective:
+            needs_split = (
+                estimate_row_footprint(len(coords), avg_b_row_nnz)
+                > threshold_bytes
+            )
+        else:
+            needs_split = len(coords) > 1
+        if not needs_split:
+            fragments.append(RowFragment(row, coords, values))
+            continue
+        fragments.extend(
+            _split_recursive(
+                row, coords, values, 0, a.num_cols, config.radix,
+                avg_b_row_nnz, threshold_bytes, selective,
+            )
+        )
+    return fragments
+
+
+def _split_recursive(
+    row: int,
+    coords: np.ndarray,
+    values: np.ndarray,
+    coord_lo: int,
+    coord_hi: int,
+    radix: int,
+    avg_b_row_nnz: float,
+    threshold_bytes: float,
+    selective: bool,
+) -> List[RowFragment]:
+    """Split a row slice; re-split subrows that still exceed the threshold.
+
+    Recursion only applies in selective mode (paper: "this process is
+    repeated recursively" for large matrices); the +T ablation does a
+    single round, as tiling everything recursively would explode.
+    """
+    pieces = split_row(coords, values, coord_lo, coord_hi, radix)
+    fragments: List[RowFragment] = []
+    span = coord_hi - coord_lo
+    for piece_coords, piece_values in pieces:
+        oversized = (
+            selective
+            and estimate_row_footprint(len(piece_coords), avg_b_row_nnz)
+            > threshold_bytes
+        )
+        if oversized and span > radix and len(piece_coords) > 1:
+            bucket = int(
+                (int(piece_coords[0]) - coord_lo) * radix // span
+            )
+            sub_lo = coord_lo + bucket * span // radix
+            sub_hi = coord_lo + (bucket + 1) * span // radix
+            sub_hi = max(sub_hi, sub_lo + 1)
+            fragments.extend(
+                _split_recursive(
+                    row, piece_coords, piece_values, sub_lo, sub_hi,
+                    radix, avg_b_row_nnz, threshold_bytes, selective,
+                )
+            )
+        else:
+            fragments.append(RowFragment(row, piece_coords, piece_values))
+    return fragments

@@ -1,0 +1,132 @@
+"""Semirings: generalized scalar algebra for spMspM.
+
+The paper motivates spMspM with graph analytics (Sec. 1-2), where the
+interesting products are over semirings other than (+, x): breadth-first
+search uses the boolean semiring, all-pairs shortest paths the tropical
+(min, +) semiring, and so on (the GraphBLAS view it cites [27]).
+
+Gamma's dataflow is algebra-agnostic — the merger orders coordinates, the
+"multiplier" applies ``mul`` and the accumulator applies ``add`` — so the
+simulator accepts any :class:`Semiring`. Hardware-wise this corresponds to
+swapping the PE's FP units, which the paper's PE structure permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring over floats.
+
+    Attributes:
+        name: Identifier for display.
+        add: The reduction operator (associative and commutative).
+        mul: The combination operator.
+        zero: Additive identity; also the implicit value of absent matrix
+            entries. ``add(x, zero) == x``.
+        one: Multiplicative identity.
+        add_array / mul_array: Optional vectorized twins used by the fast
+            path; default to a ufunc-style fallback over the scalar ops.
+    """
+
+    name: str
+    add: Callable[[float, float], float]
+    mul: Callable[[float, float], float]
+    zero: float
+    one: float
+    add_array: Callable[[np.ndarray, np.ndarray], np.ndarray] = field(
+        default=None)  # type: ignore[assignment]
+    mul_array: Callable[[np.ndarray, np.ndarray], np.ndarray] = field(
+        default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.add_array is None:
+            object.__setattr__(
+                self, "add_array", np.frompyfunc(self.add, 2, 1))
+        if self.mul_array is None:
+            object.__setattr__(
+                self, "mul_array", np.frompyfunc(self.mul, 2, 1))
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name})"
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """True for plain (+, x) — enables the vectorized numpy path."""
+        return self.name == "arithmetic"
+
+
+#: Ordinary linear algebra: (+, x, 0, 1).
+ARITHMETIC = Semiring(
+    name="arithmetic",
+    add=lambda x, y: x + y,
+    mul=lambda x, y: x * y,
+    zero=0.0,
+    one=1.0,
+    add_array=np.add,
+    mul_array=np.multiply,
+)
+
+#: Boolean reachability: (or, and, False, True) over {0.0, 1.0}.
+BOOLEAN = Semiring(
+    name="boolean",
+    add=lambda x, y: 1.0 if (x or y) else 0.0,
+    mul=lambda x, y: 1.0 if (x and y) else 0.0,
+    zero=0.0,
+    one=1.0,
+    add_array=lambda x, y: np.logical_or(x, y).astype(float),
+    mul_array=lambda x, y: np.logical_and(x, y).astype(float),
+)
+
+#: Tropical / shortest paths: (min, +, inf, 0).
+TROPICAL_MIN = Semiring(
+    name="tropical_min",
+    add=min,
+    mul=lambda x, y: x + y,
+    zero=float("inf"),
+    one=0.0,
+    add_array=np.minimum,
+    mul_array=np.add,
+)
+
+#: Widest path / bottleneck: (max, min, -inf, inf).
+MAX_MIN = Semiring(
+    name="max_min",
+    add=max,
+    mul=min,
+    zero=float("-inf"),
+    one=float("inf"),
+    add_array=np.maximum,
+    mul_array=np.minimum,
+)
+
+#: Maximum reliability: (max, x, 0, 1) over probabilities.
+MAX_TIMES = Semiring(
+    name="max_times",
+    add=max,
+    mul=lambda x, y: x * y,
+    zero=0.0,
+    one=1.0,
+    add_array=np.maximum,
+    mul_array=np.multiply,
+)
+
+STANDARD_SEMIRINGS = {
+    s.name: s
+    for s in (ARITHMETIC, BOOLEAN, TROPICAL_MIN, MAX_MIN, MAX_TIMES)
+}
+
+
+def by_name(name: str) -> Semiring:
+    try:
+        return STANDARD_SEMIRINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; known: "
+            f"{sorted(STANDARD_SEMIRINGS)}"
+        ) from None

@@ -1,0 +1,107 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.charts import (
+    grouped_bar_chart,
+    hbar_chart,
+    scatter_plot,
+    stacked_hbar_chart,
+)
+
+
+class TestHbar:
+    def test_basic(self):
+        chart = hbar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].endswith("1.00")
+        # The larger value gets the full width.
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = hbar_chart(["x", "long-label"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_overflow_marker(self):
+        chart = hbar_chart(["a", "b"], [1.0, 10.0], max_value=2.0)
+        assert ">" in chart.splitlines()[1]
+
+    def test_empty(self):
+        assert hbar_chart([], [], title="empty") == "empty"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            hbar_chart(["a"], [1.0, 2.0])
+
+
+class TestStacked:
+    def test_segments_and_legend(self):
+        chart = stacked_hbar_chart(
+            ["m1"], [{"A": 1.0, "B": 1.0}], ["A", "B"], width=10)
+        assert "legend: #=A  ==B" in chart
+        bar_line = chart.splitlines()[-1]
+        assert bar_line.count("#") == 5
+        assert bar_line.count("=") >= 5  # fill plus legend glyphs
+
+    def test_total_shown(self):
+        chart = stacked_hbar_chart(
+            ["m"], [{"A": 0.5, "B": 0.25}], ["A", "B"])
+        assert "0.75" in chart
+
+    def test_too_many_categories(self):
+        with pytest.raises(ValueError, match="categories"):
+            stacked_hbar_chart(
+                ["m"], [{}], [str(i) for i in range(10)])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            stacked_hbar_chart(["a", "b"], [{}], ["A"])
+
+
+class TestScatter:
+    def test_marker_placed(self):
+        chart = scatter_plot([(1.0, 1.0), (10.0, 5.0)], width=20,
+                             height=5)
+        assert chart.count("*") == 2
+
+    def test_log_axes_noted(self):
+        chart = scatter_plot([(1.0, 1.0), (100.0, 10.0)],
+                             log_x=True, log_y=True)
+        assert "log x" in chart
+        assert "log y" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            scatter_plot([(0.0, 1.0)], log_x=True)
+
+    def test_curve_overlay(self):
+        chart = scatter_plot(
+            [(5.0, 5.0)],
+            curve=[(1.0, 1.0), (10.0, 10.0)],
+        )
+        assert "-" in chart
+
+    def test_range_footer(self):
+        chart = scatter_plot([(2.0, 3.0), (4.0, 9.0)])
+        assert "x: [2, 4]" in chart
+        assert "y: [3, 9]" in chart
+
+    def test_empty(self):
+        assert scatter_plot([], title="t") == "t"
+
+
+class TestGrouped:
+    def test_structure(self):
+        chart = grouped_bar_chart(
+            ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [2.0, 4.0]},
+            width=8)
+        assert "g1:" in chart
+        assert "g2:" in chart
+        assert chart.count("|") == 4
+
+    def test_series_length_validation(self):
+        with pytest.raises(ValueError, match="values for"):
+            grouped_bar_chart(["g1"], {"s": [1.0, 2.0]})

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "table2" in out
+        assert "paper:" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "radix" in out
+
+    def test_run_without_ids(self, capsys):
+        assert main(["run"]) == 2
+        err = capsys.readouterr().err
+        assert "no experiment ids" in err
+
+    def test_run_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExportCommand:
+    def test_export_writes_files(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path), "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1.txt" in out
+        assert (tmp_path / "table1.json").exists()

@@ -1,0 +1,84 @@
+"""Tests for system configuration validation and derived properties."""
+
+import pytest
+
+from repro.config import (
+    CpuConfig,
+    ELEMENT_BYTES,
+    ELEMENTS_PER_LINE,
+    GammaConfig,
+    LINE_BYTES,
+    PreprocessConfig,
+)
+
+
+class TestConstants:
+    def test_element_layout(self):
+        # 32-bit coordinate + 64-bit value (paper Sec. 5).
+        assert ELEMENT_BYTES == 12
+        assert ELEMENTS_PER_LINE == LINE_BYTES // ELEMENT_BYTES
+
+
+class TestGammaConfig:
+    def test_paper_defaults(self):
+        config = GammaConfig()
+        assert config.num_pes == 32
+        assert config.radix == 64
+        assert config.fibercache_bytes == 3 * 1024 * 1024
+        assert config.fibercache_ways == 16
+        assert config.fibercache_banks == 48
+        assert config.memory_bandwidth_bytes_per_s == 128e9
+
+    def test_derived_properties(self):
+        config = GammaConfig()
+        assert config.bytes_per_cycle == 128.0
+        assert config.fibercache_lines == 49152
+        assert config.fibercache_sets == 3072
+        assert config.peak_flops == 32e9
+
+    def test_scaled_copy(self):
+        config = GammaConfig().scaled(num_pes=64)
+        assert config.num_pes == 64
+        assert config.radix == 64  # untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_pes"):
+            GammaConfig(num_pes=0)
+        with pytest.raises(ValueError, match="radix"):
+            GammaConfig(radix=1)
+        with pytest.raises(ValueError, match="smaller than one line"):
+            GammaConfig(fibercache_bytes=32)
+        with pytest.raises(ValueError, match="ways"):
+            GammaConfig(fibercache_ways=0)
+        with pytest.raises(ValueError, match="divisible"):
+            GammaConfig(fibercache_bytes=LINE_BYTES * 17,
+                        fibercache_ways=16)
+
+    def test_hashable(self):
+        assert hash(GammaConfig()) == hash(GammaConfig())
+        assert GammaConfig() != GammaConfig(num_pes=8)
+
+
+class TestCpuConfig:
+    def test_paper_platform(self):
+        config = CpuConfig()
+        assert config.num_cores == 4
+        assert config.memory_bandwidth_bytes_per_s == pytest.approx(38.4e9)
+
+    def test_effective_flops(self):
+        config = CpuConfig(spgemm_efficiency=0.1)
+        assert config.effective_flops == pytest.approx(
+            4 * 3.5e9 * 0.1)
+
+
+class TestPreprocessConfig:
+    def test_variants(self):
+        assert PreprocessConfig.none() == PreprocessConfig(
+            reorder=False, tile=False)
+        assert PreprocessConfig.full().selective
+        assert not PreprocessConfig.reorder_tile_all().selective
+
+    def test_threshold(self):
+        assert PreprocessConfig().threshold_bytes(1 << 20) == (1 << 20) / 4
+        absolute = PreprocessConfig(tile_threshold_bytes=999.0)
+        assert absolute.threshold_bytes(1 << 20) == 999.0

@@ -1,0 +1,108 @@
+"""Tests for the functional dataflow engines (paper Sec. 2.2 / Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dataflows import (
+    DATAFLOWS,
+    compare_dataflows,
+    spgemm_gustavson,
+    spgemm_inner_product,
+    spgemm_outer_product,
+)
+from repro.matrices import generators
+from repro.matrices.csr import CsrMatrix
+
+
+def scipy_product(a, b):
+    return (a.to_scipy() @ b.to_scipy()).toarray()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", list(DATAFLOWS))
+    def test_matches_scipy_square(self, name):
+        a = generators.uniform_random(40, 40, 4.0, seed=1)
+        b = generators.uniform_random(40, 40, 3.0, seed=2)
+        c, _ = DATAFLOWS[name](a, b)
+        np.testing.assert_allclose(c.to_dense(), scipy_product(a, b),
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("name", list(DATAFLOWS))
+    def test_matches_scipy_rectangular(self, name):
+        a = generators.uniform_random(25, 40, 3.0, seed=3)
+        b = generators.uniform_random(40, 30, 4.0, seed=4)
+        c, _ = DATAFLOWS[name](a, b)
+        assert c.shape == (25, 30)
+        np.testing.assert_allclose(c.to_dense(), scipy_product(a, b),
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("name", list(DATAFLOWS))
+    def test_empty_inputs(self, name):
+        a = CsrMatrix.from_rows([], 10)
+        b = generators.uniform_random(10, 10, 2.0, seed=5)
+        c, counts = DATAFLOWS[name](a, b)
+        assert c.nnz == 0
+        assert counts.effectual_multiplies == 0
+
+    @pytest.mark.parametrize("name", list(DATAFLOWS))
+    def test_dimension_check(self, name):
+        a = generators.uniform_random(5, 6, 2.0, seed=6)
+        b = generators.uniform_random(7, 5, 2.0, seed=7)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            DATAFLOWS[name](a, b)
+
+
+class TestWorkCounts:
+    def test_effectual_work_identical_across_dataflows(self):
+        """The useful multiplies are a property of the inputs, not the
+        dataflow (Sec. 2.2)."""
+        a = generators.power_law(60, 60, 5.0, seed=8)
+        counts = compare_dataflows(a, a)
+        effectual = {c.effectual_multiplies for c in counts.values()}
+        assert len(effectual) == 1
+
+    def test_inner_product_ineffectual_dominates_on_sparse(self):
+        """The paper's core claim: on highly sparse inputs, inner product
+        is dominated by ineffectual intersection work."""
+        sparse = generators.uniform_random(150, 150, 2.0, seed=9)
+        _, counts = spgemm_inner_product(sparse, sparse)
+        assert (counts.ineffectual_comparisons
+                > 5 * counts.effectual_multiplies)
+
+    def test_inner_product_fine_when_dense(self):
+        dense = generators.uniform_random(40, 40, 20.0, seed=10)
+        _, counts = spgemm_inner_product(dense, dense)
+        assert (counts.ineffectual_comparisons
+                < 2.5 * counts.effectual_multiplies)
+
+    def test_outer_product_intermediates_exceed_gustavson(self):
+        """Outer product buffers whole partial matrices; Gustavson one
+        row's accumulator."""
+        a = generators.uniform_random(100, 100, 5.0, seed=11)
+        _, outer = spgemm_outer_product(a, a)
+        _, gustavson = spgemm_gustavson(a, a)
+        assert (outer.intermediate_elements
+                > 10 * gustavson.intermediate_elements)
+
+    def test_outer_merge_volume_equals_products(self):
+        a = generators.uniform_random(80, 80, 4.0, seed=12)
+        _, counts = spgemm_outer_product(a, a)
+        assert counts.merge_elements == counts.effectual_multiplies
+
+    def test_gustavson_no_ineffectual_work(self):
+        a = generators.uniform_random(80, 80, 4.0, seed=13)
+        _, counts = spgemm_gustavson(a, a)
+        assert counts.ineffectual_comparisons == 0
+
+    def test_gustavson_intermediate_is_one_row(self):
+        a = generators.uniform_random(80, 80, 4.0, seed=14)
+        c, counts = spgemm_gustavson(a, a)
+        assert counts.intermediate_elements <= int(
+            c.row_lengths().max())
+
+    def test_agrees_with_gamma_simulator_flops(self):
+        from repro.matrices.stats import flops
+
+        a = generators.uniform_random(60, 60, 4.0, seed=15)
+        _, counts = spgemm_gustavson(a, a)
+        assert counts.effectual_multiplies == flops(a, a)

@@ -1,0 +1,104 @@
+"""Tests for design-space exploration."""
+
+import pytest
+
+from repro.analysis.dse import (
+    DesignPoint,
+    best_performance_per_area,
+    candidate_configs,
+    evaluate,
+    pareto_frontier,
+)
+from repro.config import GammaConfig
+from repro.matrices import generators
+
+
+class TestCandidates:
+    def test_cross_product_size(self):
+        configs = candidate_configs(
+            pe_counts=(8, 32), radices=(64,), cache_bytes=(1 << 20,))
+        assert len(configs) == 2
+        assert {c.num_pes for c in configs} == {8, 32}
+
+    def test_base_preserved(self):
+        base = GammaConfig(frequency_hz=2e9)
+        configs = candidate_configs(
+            pe_counts=(8,), radices=(64,), cache_bytes=(1 << 20,),
+            base=base)
+        assert configs[0].frequency_hz == 2e9
+
+
+class TestEvaluate:
+    @pytest.fixture(scope="class")
+    def points(self):
+        a = generators.mesh(400, 12.0, seed=1)
+        configs = candidate_configs(
+            pe_counts=(4, 16), radices=(16,),
+            cache_bytes=(16 * 1024, 64 * 1024))
+        return evaluate((a, a), configs)
+
+    def test_all_configs_evaluated(self, points):
+        assert len(points) == 4
+
+    def test_areas_positive_and_ordered(self, points):
+        assert all(p.area_mm2 > 0 for p in points)
+        small = min(points, key=lambda p: p.area_mm2)
+        big = max(points, key=lambda p: p.area_mm2)
+        assert small.config.num_pes <= big.config.num_pes
+
+    def test_labels(self, points):
+        assert points[0].label.endswith("KB")
+        assert "PE" in points[0].label
+
+    def test_progress_callback(self):
+        a = generators.mesh(100, 6.0, seed=2)
+        seen = []
+        evaluate((a, a),
+                 candidate_configs(pe_counts=(4,), radices=(16,),
+                                   cache_bytes=(16 * 1024,)),
+                 progress=seen.append)
+        assert len(seen) == 1
+        assert isinstance(seen[0], DesignPoint)
+
+
+class TestPareto:
+    def _point(self, area, cycles):
+        return DesignPoint(GammaConfig(), area, cycles, 0)
+
+    def test_dominated_points_removed(self):
+        points = [
+            self._point(10, 100),
+            self._point(20, 100),   # bigger, no faster -> dominated
+            self._point(20, 50),
+            self._point(30, 70),    # bigger and slower than (20, 50)
+        ]
+        frontier = pareto_frontier(points)
+        assert [(p.area_mm2, p.cycles) for p in frontier] == [
+            (10, 100), (20, 50)]
+
+    def test_frontier_sorted_by_area(self):
+        points = [self._point(a, c) for a, c in
+                  ((30, 10), (10, 100), (20, 50))]
+        frontier = pareto_frontier(points)
+        areas = [p.area_mm2 for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_single_point(self):
+        points = [self._point(5, 5)]
+        assert pareto_frontier(points) == points
+
+    def test_best_performance_per_area(self):
+        points = [self._point(10, 100), self._point(100, 50)]
+        best = best_performance_per_area(points)
+        assert best.area_mm2 == 10  # 10x cheaper, only 2x slower
+        with pytest.raises(ValueError):
+            best_performance_per_area([])
+
+    def test_more_area_never_slower_on_real_workload(self):
+        """Bigger caches on the frontier must actually help."""
+        a = generators.mesh(400, 12.0, seed=3)
+        configs = candidate_configs(
+            pe_counts=(16,), radices=(16,),
+            cache_bytes=(8 * 1024, 64 * 1024))
+        points = evaluate((a, a), configs)
+        assert points[1].cycles <= points[0].cycles

@@ -1,0 +1,70 @@
+"""Tests for the parametric energy model."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    energy_per_flop_pj,
+    estimate_energy,
+)
+from repro.config import GammaConfig
+from repro.core import GammaSimulator
+from repro.matrices import generators
+
+
+@pytest.fixture(scope="module")
+def result():
+    a = generators.uniform_random(300, 300, 6.0, seed=1)
+    return GammaSimulator(GammaConfig(fibercache_bytes=32 * 1024),
+                          keep_output=False).run(a, a)
+
+
+class TestEnergyModel:
+    def test_breakdown_positive(self, result):
+        breakdown = estimate_energy(result)
+        assert breakdown.dram_pj > 0
+        assert breakdown.sram_pj > 0
+        assert breakdown.compute_pj > 0
+        assert breakdown.static_pj > 0
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.dram_pj + breakdown.sram_pj
+            + breakdown.compute_pj + breakdown.static_pj)
+
+    def test_fractions_sum_to_one(self, result):
+        fractions = estimate_energy(result).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_data_movement_dominates(self, result):
+        """spMspM is memory-bound: DRAM energy above compute energy for a
+        bandwidth-saturating run."""
+        breakdown = estimate_energy(result)
+        assert breakdown.dram_pj > breakdown.compute_pj
+
+    def test_traffic_reduction_is_energy_reduction(self):
+        """The paper's qualitative claim: less traffic -> less energy."""
+        a = generators.uniform_random(400, 400, 8.0, seed=2)
+        big = GammaSimulator(
+            GammaConfig(fibercache_bytes=1024 * 1024),
+            keep_output=False).run(a, a)
+        small = GammaSimulator(
+            GammaConfig(fibercache_bytes=8 * 1024),
+            keep_output=False).run(a, a)
+        assert (estimate_energy(small).total_pj
+                > estimate_energy(big).total_pj)
+
+    def test_custom_constants(self, result):
+        expensive_dram = EnergyModel(dram_pj_per_byte=200.0)
+        assert (estimate_energy(result, expensive_dram).dram_pj
+                == pytest.approx(
+                    10 * estimate_energy(result).dram_pj))
+
+    def test_energy_per_flop(self, result):
+        per_flop = energy_per_flop_pj(result)
+        assert per_flop > 0
+        # Sanity: tens-to-hundreds of pJ per MAC for a memory-bound run.
+        assert 1.0 < per_flop < 10_000.0
+
+    def test_units(self):
+        breakdown = EnergyBreakdown(1e6, 0, 0, 0)
+        assert breakdown.total_uj == pytest.approx(1.0)

@@ -1,0 +1,54 @@
+"""Tests for experiment result export."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    export_experiment,
+    result_to_json,
+    rows_to_csv,
+)
+
+
+class TestCsv:
+    def test_union_of_keys(self):
+        text = rows_to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+        assert lines[2] == "2,3"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_rejects_non_dict_rows(self):
+        with pytest.raises(TypeError, match="dict rows"):
+            rows_to_csv([[1, 2, 3]])
+
+
+class TestJson:
+    def test_strips_render_keys(self):
+        payload = json.loads(result_to_json(
+            {"rows": [{"x": 1}], "table": "T", "chart": "C"}))
+        assert payload == {"rows": [{"x": 1}]}
+
+
+class TestExport:
+    def test_export_table1(self, tmp_path):
+        written = export_experiment("table1", tmp_path)
+        names = {p.name for p in written}
+        assert "table1.txt" in names
+        assert "table1.json" in names
+        text = (tmp_path / "table1.txt").read_text()
+        assert "radix" in text
+
+    def test_export_with_dict_rows_writes_csv(self, tmp_path):
+        result = {
+            "rows": [{"matrix": "m", "value": 1.0}],
+            "table": "T",
+        }
+        written = export_experiment("custom", tmp_path, result=result)
+        assert (tmp_path / "custom.csv").exists()
+        assert "matrix,value" in (tmp_path / "custom.csv").read_text()
+        assert len(written) == 3

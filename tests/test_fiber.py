@@ -1,0 +1,120 @@
+"""Unit tests for the Fiber container and linear combination."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.fiber import Fiber, linear_combine
+
+
+class TestFiberConstruction:
+    def test_basic(self):
+        f = Fiber([0, 3, 7], [1.0, 2.0, 3.0])
+        assert len(f) == 3
+        assert list(f) == [(0, 1.0), (3, 2.0), (7, 3.0)]
+
+    def test_empty(self):
+        f = Fiber.empty()
+        assert len(f) == 0
+        assert f.nbytes == 0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Fiber([3, 1], [1.0, 2.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Fiber([1, 1], [1.0, 2.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            Fiber([1, 2], [1.0])
+
+    def test_rejects_negative_coords(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Fiber([-1, 2], [1.0, 2.0])
+
+    def test_from_pairs_sorts_and_merges(self):
+        f = Fiber.from_pairs([(5, 1.0), (2, 2.0), (5, 3.0)])
+        assert list(f) == [(2, 2.0), (5, 4.0)]
+
+    def test_nbytes(self):
+        assert Fiber([0, 1], [1.0, 1.0]).nbytes == 24
+
+    def test_equality(self):
+        a = Fiber([1, 2], [1.0, 2.0])
+        b = Fiber([1, 2], [1.0, 2.0])
+        c = Fiber([1, 2], [1.0, 3.0])
+        assert a == b
+        assert a != c
+        assert a != "not a fiber"
+
+
+class TestFiberOps:
+    def test_scale(self):
+        f = Fiber([1, 4], [2.0, -1.0]).scale(3.0)
+        assert list(f) == [(1, 6.0), (4, -3.0)]
+
+    def test_drop_zeros(self):
+        f = Fiber([1, 2, 3], [0.0, 5.0, 0.0]).drop_zeros()
+        assert list(f) == [(2, 5.0)]
+
+    def test_drop_zeros_noop_returns_self(self):
+        f = Fiber([1], [1.0])
+        assert f.drop_zeros() is f
+
+    def test_dot_disjoint(self):
+        a = Fiber([0, 2], [1.0, 1.0])
+        b = Fiber([1, 3], [1.0, 1.0])
+        assert a.dot(b) == 0.0
+
+    def test_dot_matching(self):
+        a = Fiber([0, 2, 5], [1.0, 2.0, 3.0])
+        b = Fiber([2, 5, 9], [4.0, 5.0, 6.0])
+        assert a.dot(b) == pytest.approx(2 * 4 + 3 * 5)
+
+
+class TestLinearCombine:
+    def test_two_fibers(self):
+        # The paper's Fig. 5 example: a1,3 * B3 + a1,5 * B5.
+        b3 = Fiber([2, 4], [0.7, 1.0])
+        b5 = Fiber([1, 4], [0.5, 2.0])
+        out = linear_combine([b3, b5], [2.0, 3.0])
+        assert list(out) == [(1, 1.5), (2, 1.4), (4, 8.0)]
+
+    def test_empty_inputs(self):
+        assert len(linear_combine([], [])) == 0
+        assert len(linear_combine([Fiber.empty()], [1.0])) == 0
+
+    def test_single_fiber_scales(self):
+        out = linear_combine([Fiber([3], [2.0])], [5.0])
+        assert list(out) == [(3, 10.0)]
+
+    def test_mismatched_scales(self):
+        with pytest.raises(ValueError, match="scaling factors"):
+            linear_combine([Fiber.empty()], [1.0, 2.0])
+
+    def test_matches_dense_computation(self):
+        rng = np.random.default_rng(42)
+        fibers, scales, dense = [], [], np.zeros(50)
+        for _ in range(8):
+            coords = np.sort(rng.choice(50, size=10, replace=False))
+            values = rng.normal(size=10)
+            scale = rng.normal()
+            fibers.append(Fiber(coords, values))
+            scales.append(scale)
+            row = np.zeros(50)
+            row[coords] = values
+            dense += scale * row
+        out = linear_combine(fibers, scales)
+        result = np.zeros(50)
+        result[out.coords] = out.values
+        np.testing.assert_allclose(result, dense, atol=1e-12)
+
+    def test_output_sorted_unique(self):
+        rng = np.random.default_rng(7)
+        fibers = []
+        for _ in range(5):
+            coords = np.sort(rng.choice(100, size=20, replace=False))
+            fibers.append(Fiber(coords, rng.normal(size=20)))
+        out = linear_combine(fibers, [1.0] * 5)
+        assert np.all(np.diff(out.coords) > 0)

@@ -1,0 +1,211 @@
+"""Unit tests for the FiberCache (paper Sec. 3.2)."""
+
+import pytest
+
+from repro.config import GammaConfig, LINE_BYTES
+from repro.core.fibercache import FiberCache, lines_for_bytes
+
+
+def tiny_cache(ways=4, sets=4):
+    config = GammaConfig(
+        fibercache_bytes=ways * sets * LINE_BYTES,
+        fibercache_ways=ways,
+    )
+    return FiberCache(config)
+
+
+class TestPrimitives:
+    def test_fetch_miss_then_read_hit(self):
+        cache = tiny_cache()
+        assert cache.fetch(0) is True  # compulsory miss
+        assert cache.read(0) is False  # decoupled read hits
+        assert cache.stats.fetch_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_fetch_hit_on_refetch(self):
+        cache = tiny_cache()
+        cache.fetch(0)
+        assert cache.fetch(0) is False
+        assert cache.stats.fetch_hits == 1
+
+    def test_read_miss_installs(self):
+        cache = tiny_cache()
+        assert cache.read(5) is True
+        assert cache.contains(5)
+
+    def test_write_allocates_without_fetch(self):
+        cache = tiny_cache()
+        cache.write(3)
+        line = cache.line_state(3)
+        assert line.dirty
+        assert cache.stats.fetch_misses == 0
+        assert cache.miss_lines == {"B": 0, "partial": 0}
+
+    def test_consume_invalidates_without_writeback(self):
+        cache = tiny_cache()
+        cache.write(3)
+        assert cache.consume(3) is False
+        assert not cache.contains(3)
+        assert cache.stats.dirty_evictions == 0
+
+    def test_consume_miss_counts_partial_read(self):
+        cache = tiny_cache()
+        assert cache.consume(9) is True
+        assert cache.miss_lines["partial"] == 1
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.fetch(1)
+        cache.invalidate(1)
+        assert not cache.contains(1)
+        cache.invalidate(1)  # idempotent
+
+
+class TestPriorityReplacement:
+    def test_fetched_lines_protected(self):
+        """Fetched-but-unread lines survive a streaming scan (soft lock)."""
+        cache = tiny_cache(ways=4, sets=1)
+        cache.fetch(0)  # priority 1
+        # Stream lines through: each fetch+read leaves priority 0.
+        for addr in range(1, 12):
+            cache.fetch(addr)
+            cache.read(addr)
+        assert cache.contains(0)
+        assert cache.read(0) is False
+
+    def test_read_releases_priority(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fetch(0)
+        cache.read(0)  # priority back to 0 -> evictable
+        cache.fetch(1)
+        cache.fetch(2)  # set full; 0 should be the victim
+        assert not cache.contains(0)
+        assert cache.contains(1)
+        assert cache.contains(2)
+
+    def test_dirty_eviction_counted(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.write(0)
+        cache.write(1)
+        cache.fetch(2)
+        cache.fetch(3)
+        assert cache.stats.dirty_evictions >= 1
+        assert cache.last_victim_was_dirty or cache.stats.dirty_evictions == 2
+
+    def test_victim_is_lowest_priority(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fetch(0)  # priority 1 (not yet read)
+        cache.fetch(1)
+        cache.read(1)  # priority 0
+        cache.fetch(2)  # evicts addr 1, not addr 0
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_priority_saturates(self):
+        cache = tiny_cache()
+        for _ in range(100):
+            cache.fetch(0)
+        assert cache.line_state(0).priority <= 31
+        for _ in range(200):
+            cache.read(0)
+        assert cache.line_state(0).priority == 0
+
+
+class TestOccupancyTracking:
+    def test_occupancy_by_category(self):
+        cache = tiny_cache()
+        cache.fetch(0, "B")
+        cache.fetch(1, "B")
+        cache.write(100, "partial")
+        assert cache.occupancy == {"B": 2, "partial": 1}
+        util = cache.utilization()
+        assert util["B"] == pytest.approx(2 / 16)
+        assert util["partial"] == pytest.approx(1 / 16)
+        assert util["unused"] == pytest.approx(13 / 16)
+
+    def test_occupancy_after_consume(self):
+        cache = tiny_cache()
+        cache.write(0, "partial")
+        cache.consume(0)
+        assert cache.occupancy["partial"] == 0
+
+    def test_sampled_utilization(self):
+        cache = tiny_cache()
+        cache.fetch(0, "B")
+        cache.sample_utilization(weight=1.0)
+        cache.fetch(16, "B")  # different set
+        cache.sample_utilization(weight=3.0)
+        avg = cache.average_utilization()
+        assert avg["B"] == pytest.approx((1 / 16 + 3 * 2 / 16) / 4)
+
+    def test_unknown_category_rejected(self):
+        cache = tiny_cache()
+        with pytest.raises(ValueError, match="category"):
+            cache.fetch(0, "X")
+
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = tiny_cache(ways=2, sets=2)
+        for addr in range(50):
+            cache.fetch(addr)
+        assert cache.resident_lines <= cache.total_lines
+
+
+class TestSetMapping:
+    def test_conflict_misses_within_set(self):
+        cache = tiny_cache(ways=2, sets=4)
+        # Addresses 0, 4, 8 all map to set 0 (addr % 4).
+        cache.fetch(0)
+        cache.read(0)
+        cache.fetch(4)
+        cache.read(4)
+        cache.fetch(8)
+        assert not cache.contains(0)
+        # Other sets untouched.
+        cache.fetch(1)
+        assert cache.contains(1)
+
+    def test_capacity_properties(self):
+        config = GammaConfig()  # paper default: 3 MB, 16-way
+        cache = FiberCache(config)
+        assert cache.total_lines == 3 * 1024 * 1024 // 64
+        assert cache.num_sets == cache.total_lines // 16
+
+
+class TestHelpers:
+    def test_lines_for_bytes(self):
+        assert lines_for_bytes(0) == 0
+        assert lines_for_bytes(1) == 1
+        assert lines_for_bytes(64) == 1
+        assert lines_for_bytes(65) == 2
+
+
+class TestBankInstrumentation:
+    def test_accesses_counted(self):
+        cache = tiny_cache()
+        cache.fetch(0)
+        cache.read(0)
+        cache.write(1)
+        assert sum(cache.bank_accesses) == 3
+
+    def test_sequential_lines_balance_banks(self):
+        """Line-interleaved fiber streaming spreads across banks."""
+        from repro.config import GammaConfig
+        from repro.core.fibercache import FiberCache
+
+        cache = FiberCache(GammaConfig())
+        for addr in range(48 * 20):
+            cache.fetch(addr)
+        assert cache.bank_load_imbalance() == pytest.approx(1.0)
+
+    def test_conflicting_stride_detected(self):
+        from repro.config import GammaConfig
+        from repro.core.fibercache import FiberCache
+
+        cache = FiberCache(GammaConfig())
+        for i in range(100):
+            cache.fetch(i * 48)  # always bank 0
+        assert cache.bank_load_imbalance() == pytest.approx(48.0)
+
+    def test_empty_cache_balanced(self):
+        cache = tiny_cache()
+        assert cache.bank_load_imbalance() == 1.0

@@ -1,0 +1,110 @@
+"""Unit tests for the Matrix Market reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.matrices.csr import CsrMatrix
+from repro.matrices.io import (
+    MatrixMarketError,
+    matrix_market_string,
+    read_matrix_market,
+    roundtrip_equal,
+    write_matrix_market,
+)
+
+
+def _read(text: str) -> CsrMatrix:
+    return read_matrix_market(io.StringIO(text))
+
+
+class TestReader:
+    def test_basic_real_general(self):
+        m = _read(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "2 3 2\n"
+            "1 1 1.5\n"
+            "2 3 -2.0\n"
+        )
+        assert m.shape == (2, 3)
+        assert list(m.row(0)) == [(0, 1.5)]
+        assert list(m.row(1)) == [(2, -2.0)]
+
+    def test_pattern(self):
+        m = _read(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 2\n2 1\n"
+        )
+        assert list(m.row(0)) == [(1, 1.0)]
+
+    def test_symmetric_mirrors(self):
+        m = _read(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        )
+        assert list(m.row(0)) == [(1, 5.0)]
+        assert list(m.row(1)) == [(0, 5.0)]
+        assert m.nnz == 3
+
+    def test_integer_field(self):
+        m = _read(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "1 1 1\n1 1 7\n"
+        )
+        assert list(m.row(0)) == [(0, 7.0)]
+
+    def test_missing_header(self):
+        with pytest.raises(MatrixMarketError, match="header"):
+            _read("1 1 1\n1 1 1.0\n")
+
+    def test_unsupported_format(self):
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            _read("%%MatrixMarket matrix array real general\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(MatrixMarketError, match="field"):
+            _read("%%MatrixMarket matrix coordinate complex general\n")
+
+    def test_truncated_entries(self):
+        with pytest.raises(MatrixMarketError, match="expected 2 entries"):
+            _read(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 2\n1 1 1.0\n"
+            )
+
+    def test_malformed_entry(self):
+        with pytest.raises(MatrixMarketError, match="malformed"):
+            _read(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1\n"
+            )
+
+
+class TestWriterRoundTrip:
+    def test_round_trip(self):
+        rng = np.random.default_rng(5)
+        dense = rng.random((12, 9)) * (rng.random((12, 9)) < 0.3)
+        m = CsrMatrix.from_dense(dense)
+        text = matrix_market_string(m, comment="test matrix")
+        back = _read(text)
+        assert roundtrip_equal(m, back)
+
+    def test_file_round_trip(self, tmp_path):
+        m = CsrMatrix.from_dense(np.array([[0.0, 2.5], [1.0, 0.0]]))
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        assert roundtrip_equal(m, read_matrix_market(path))
+
+    def test_empty_matrix(self):
+        m = CsrMatrix.from_rows([], 5)
+        back = _read(matrix_market_string(m))
+        assert back.shape == (0, 5)
+        assert back.nnz == 0
+
+    def test_comment_written(self):
+        m = CsrMatrix.from_dense(np.eye(2))
+        text = matrix_market_string(m, comment="hello\nworld")
+        assert "% hello" in text
+        assert "% world" in text

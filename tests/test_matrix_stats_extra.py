@@ -1,0 +1,92 @@
+"""Additional edge-case tests for matrix statistics and affinity scoring."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators, stats
+from repro.matrices.csr import CsrMatrix
+from repro.matrices.fiber import Fiber
+
+
+class TestAffinityEdgeCases:
+    def test_disjoint_rows_zero_affinity(self):
+        m = CsrMatrix.from_rows(
+            [Fiber([0, 1], [1.0, 1.0]), Fiber([2, 3], [1.0, 1.0])], 4)
+        assert stats.row_affinity(m, 0, 1) == 0
+        assert stats.matrix_affinity(m, window=1) == 0
+
+    def test_identical_rows_full_affinity(self):
+        fiber = Fiber([1, 5, 9], [1.0, 2.0, 3.0])
+        m = CsrMatrix.from_rows([fiber, fiber], 10)
+        assert stats.row_affinity(m, 0, 1) == 3
+        assert stats.matrix_affinity(m, window=1) == 3
+
+    def test_window_limits_history(self):
+        fiber = Fiber([0], [1.0])
+        blank = Fiber([5], [1.0])
+        # Rows 0 and 2 share a column; row 1 does not.
+        m = CsrMatrix.from_rows([fiber, blank, fiber], 10)
+        assert stats.matrix_affinity(m, window=1) == 0
+        assert stats.matrix_affinity(m, window=2) == 1
+
+    def test_affinity_of_empty_matrix(self):
+        m = CsrMatrix.from_rows([], 4)
+        assert stats.matrix_affinity(m, window=3) == 0
+
+    def test_affinity_symmetric(self):
+        m = generators.uniform_random(30, 30, 4.0, seed=1)
+        assert stats.row_affinity(m, 3, 7) == stats.row_affinity(m, 7, 3)
+
+
+class TestWindowSize:
+    def test_matches_eq2(self):
+        # W = cache_bytes / (avg_nnz_per_row * element_bytes).
+        m = generators.uniform_random(100, 100, 10.0, seed=2)
+        avg = m.nnz / m.num_rows
+        expected = int((48 * 1024) / (avg * 12))
+        assert stats.window_size(m, 48 * 1024) == pytest.approx(
+            expected, abs=2)
+
+    def test_minimum_one(self):
+        m = generators.uniform_random(10, 10, 5.0, seed=3)
+        assert stats.window_size(m, 1) >= 1
+
+    def test_empty_matrix(self):
+        m = CsrMatrix.from_rows([], 10)
+        assert stats.window_size(m, 1024) >= 1
+
+
+class TestFlopsAndReuse:
+    def test_flops_zero_for_empty_a(self):
+        a = CsrMatrix.from_rows([], 10)
+        b = generators.uniform_random(10, 10, 3.0, seed=4)
+        assert stats.flops(a, b) == 0
+
+    def test_reuse_factor_one_when_unique(self):
+        # Every A nonzero references a distinct B row.
+        a = CsrMatrix.from_dense(np.eye(6))
+        assert stats.reuse_factor(a, a) == 1.0
+
+    def test_reuse_factor_counts_repeats(self):
+        dense = np.zeros((4, 4))
+        dense[:, 0] = 1.0  # all rows reference B row 0
+        a = CsrMatrix.from_dense(dense)
+        assert stats.reuse_factor(a, a) == 4.0
+
+    def test_reuse_factor_empty(self):
+        a = CsrMatrix.from_rows([], 4)
+        assert stats.reuse_factor(a, a) == 0.0
+
+
+class TestMatrixStatsDataclass:
+    def test_empty_matrix_stats(self):
+        m = CsrMatrix.from_rows([], 7)
+        s = stats.MatrixStats.of(m)
+        assert s.rows == 0
+        assert s.nnz == 0
+        assert s.nnz_per_row_mean == 0.0
+        assert s.nnz_per_row_max == 0
+
+    def test_footprint_matches_nbytes(self):
+        m = generators.uniform_random(20, 20, 3.0, seed=5)
+        assert stats.MatrixStats.of(m).footprint_bytes == m.nbytes

@@ -1,0 +1,91 @@
+"""Unit tests for the high-radix merger (paper Sec. 3.1, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.merger import (
+    HighRadixMerger,
+    MergerRadixError,
+    is_sorted_with_repeats,
+    merge_cycles,
+)
+
+
+class TestMergerFunctional:
+    def test_two_streams(self):
+        merger = HighRadixMerger(2)
+        out = merger.merge([[1, 4, 9], [2, 4, 7]])
+        assert [c for c, _ in out] == [1, 2, 4, 4, 7, 9]
+        assert is_sorted_with_repeats(c for c, _ in out)
+
+    def test_way_indexes(self):
+        merger = HighRadixMerger(4)
+        out = merger.merge([[5], [1], [3]])
+        assert out == [(1, 1), (3, 2), (5, 0)]
+
+    def test_tie_breaks_to_lowest_way(self):
+        merger = HighRadixMerger(4)
+        out = merger.merge([[7], [7], [7]])
+        assert out == [(7, 0), (7, 1), (7, 2)]
+
+    def test_empty_streams(self):
+        merger = HighRadixMerger(8)
+        assert merger.merge([]) == []
+        assert merger.merge([[], [], []]) == []
+
+    def test_single_stream_passthrough(self):
+        merger = HighRadixMerger(64)
+        out = merger.merge([[0, 5, 6]])
+        assert out == [(0, 0), (5, 0), (6, 0)]
+
+    def test_radix_overflow_rejected(self):
+        merger = HighRadixMerger(2)
+        with pytest.raises(MergerRadixError, match="exceed radix"):
+            merger.merge([[1], [2], [3]])
+
+    def test_radix_validation(self):
+        with pytest.raises(ValueError, match="radix"):
+            HighRadixMerger(1)
+
+    def test_full_radix_64(self):
+        rng = np.random.default_rng(11)
+        streams = [
+            np.unique(rng.choice(1000, size=rng.integers(1, 30)))
+            for _ in range(64)
+        ]
+        merger = HighRadixMerger(64)
+        out = merger.merge(streams)
+        assert len(out) == sum(len(s) for s in streams)
+        coords = [c for c, _ in out]
+        assert coords == sorted(coords)
+        # Every stream's elements appear, in order, under its way index.
+        for way, stream in enumerate(streams):
+            emitted = [c for c, w in out if w == way]
+            assert emitted == list(stream)
+
+    def test_matches_numpy_mergesort(self):
+        rng = np.random.default_rng(13)
+        streams = [
+            np.unique(rng.choice(200, size=20)) for _ in range(7)
+        ]
+        merger = HighRadixMerger(8)
+        out = [c for c, _ in merger.merge(streams)]
+        assert out == sorted(int(x) for s in streams for x in s)
+
+
+class TestMergerTiming:
+    def test_pipeline_depth(self):
+        assert HighRadixMerger(64).pipeline_depth == 6
+        assert HighRadixMerger(2).pipeline_depth == 1
+        assert HighRadixMerger(16).pipeline_depth == 4
+
+    def test_one_element_per_cycle(self):
+        merger = HighRadixMerger(4)
+        streams = [[1, 2], [3, 4], [5]]
+        assert merger.cycles(streams) == 5 + merger.pipeline_depth
+
+    def test_merge_cycles_closed_form(self):
+        assert merge_cycles(100, 6) == 106
+        assert merge_cycles(0, 6) == 6
+        with pytest.raises(ValueError):
+            merge_cycles(-1)

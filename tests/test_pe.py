@@ -1,0 +1,197 @@
+"""Unit tests for PE, accumulator, and task trees."""
+
+import numpy as np
+import pytest
+
+from repro.core.accumulator import Accumulator, accumulate
+from repro.core.pe import ProcessingElement
+from repro.core.tasks import Task, TaskInput, build_task_tree, tree_stats
+from repro.matrices.fiber import Fiber, linear_combine
+
+
+class TestAccumulator:
+    def test_sums_runs(self):
+        out = accumulate([(1, 2.0), (1, 3.0), (4, 1.0)])
+        assert list(out) == [(1, 5.0), (4, 1.0)]
+
+    def test_empty(self):
+        assert len(accumulate([])) == 0
+
+    def test_rejects_out_of_order(self):
+        acc = Accumulator()
+        acc.push(5, 1.0)
+        with pytest.raises(ValueError, match="nondecreasing"):
+            acc.push(3, 1.0)
+
+    def test_flush_resets(self):
+        acc = Accumulator()
+        acc.push(2, 1.0)
+        first = acc.flush()
+        assert list(first) == [(2, 1.0)]
+        acc.push(0, 4.0)
+        assert list(acc.flush()) == [(0, 4.0)]
+
+    def test_keeps_cancelled_zeros(self):
+        # The hardware emits whatever sum it buffered, even 0.0.
+        out = accumulate([(3, 1.0), (3, -1.0)])
+        assert list(out) == [(3, 0.0)]
+
+
+class TestProcessingElement:
+    def test_fig5_example(self):
+        # Paper Fig. 5: A row a1 = {3: a13, 5: a15}; combine B3 and B5.
+        b3 = Fiber([2, 4], [0.7, 1.0])
+        b5 = Fiber([1, 4], [0.5, 2.0])
+        pe = ProcessingElement(radix=64)
+        result = pe.combine([b3, b5], [2.0, 3.0])
+        assert list(result.output) == [(1, 1.5), (2, 1.4), (4, 8.0)]
+        assert result.multiplies == 4
+
+    def test_detailed_matches_fast(self):
+        rng = np.random.default_rng(21)
+        pe = ProcessingElement(radix=16)
+        fibers = []
+        for _ in range(10):
+            coords = np.unique(rng.choice(100, size=15))
+            fibers.append(Fiber(coords, rng.normal(size=len(coords))))
+        scales = rng.normal(size=10).tolist()
+        fast = pe.combine(fibers, scales)
+        detailed = pe.combine_detailed(fibers, scales)
+        np.testing.assert_array_equal(fast.output.coords,
+                                      detailed.output.coords)
+        np.testing.assert_allclose(fast.output.values,
+                                   detailed.output.values, atol=1e-12)
+        assert fast.cycles == detailed.cycles
+        assert fast.multiplies == detailed.multiplies
+
+    def test_cycles_are_input_bound(self):
+        pe = ProcessingElement(radix=4)
+        fibers = [Fiber([1, 2, 3], [1.0] * 3), Fiber([4, 5], [1.0] * 2)]
+        result = pe.combine(fibers, [1.0, 1.0])
+        assert result.cycles == 5  # one consumed input element per cycle
+        assert result.unpipelined_cycles > result.cycles
+
+    def test_radix_enforced(self):
+        pe = ProcessingElement(radix=2)
+        fibers = [Fiber([i], [1.0]) for i in range(3)]
+        with pytest.raises(ValueError, match="exceed PE radix"):
+            pe.combine(fibers, [1.0] * 3)
+
+    def test_detailed_scale_mismatch(self):
+        pe = ProcessingElement(radix=4)
+        with pytest.raises(ValueError, match="scaling factors"):
+            pe.combine_detailed([Fiber([1], [1.0])], [1.0, 2.0])
+
+
+class TestTaskTree:
+    def test_single_task_when_under_radix(self):
+        tasks = build_task_tree(0, [1, 2, 3], [1.0, 2.0, 3.0], radix=4)
+        assert len(tasks) == 1
+        assert tasks[0].is_final
+        assert tasks[0].level == 0
+        assert [i.index for i in tasks[0].inputs] == [1, 2, 3]
+
+    def test_paper_example_4096_at_radix_64(self):
+        # Sec. 3: 4096 fibers with radix-64 PEs -> 65 invocations, depth 2.
+        tasks = build_task_tree(
+            0, list(range(4096)), [1.0] * 4096, radix=64)
+        count, depth = tree_stats(tasks)
+        assert count == 65
+        assert depth == 2
+
+    def test_fig9_example_18_at_radix_3(self):
+        # Fig. 9: 18 fibers at radix 3 -> full top levels, slack at bottom.
+        tasks = build_task_tree(0, list(range(18)), [1.0] * 18, radix=3)
+        root = tasks[-1]
+        assert root.is_final
+        assert root.num_inputs == 3  # top level full
+        # All 18 leaves are covered exactly once.
+        b_inputs = [
+            inp.index for t in tasks for inp in t.inputs if inp.kind == "B"
+        ]
+        assert sorted(b_inputs) == list(range(18))
+
+    def test_children_before_parents(self):
+        tasks = build_task_tree(0, list(range(100)), [1.0] * 100, radix=8)
+        seen = set()
+        for task in tasks:
+            for child in task.children:
+                assert child.task_id in seen
+            seen.add(task.task_id)
+
+    def test_only_root_final(self):
+        tasks = build_task_tree(7, list(range(50)), [1.0] * 50, radix=4)
+        finals = [t for t in tasks if t.is_final]
+        assert len(finals) == 1
+        assert finals[0] is tasks[-1]
+        assert all(t.row == 7 for t in tasks)
+
+    def test_emit_final_false(self):
+        tasks = build_task_tree(0, [1, 2], [1.0, 1.0], radix=4,
+                                emit_final=False)
+        assert not tasks[-1].is_final
+
+    def test_scales_preserved(self):
+        tasks = build_task_tree(0, [5, 9], [2.5, -1.0], radix=64)
+        scales = {i.index: i.scale for i in tasks[0].inputs}
+        assert scales == {5: 2.5, 9: -1.0}
+
+    def test_partial_inputs_scale_one(self):
+        tasks = build_task_tree(0, list(range(20)), [2.0] * 20, radix=4)
+        root = tasks[-1]
+        for inp in root.inputs:
+            if inp.kind == "partial":
+                assert inp.scale == 1.0
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ValueError, match="no inputs"):
+            build_task_tree(0, [], [], radix=4)
+
+    def test_mismatched_scales_rejected(self):
+        with pytest.raises(ValueError, match="scales"):
+            build_task_tree(0, [1, 2], [1.0], radix=4)
+
+    def test_bad_radix_rejected(self):
+        with pytest.raises(ValueError, match="radix"):
+            build_task_tree(0, [1], [1.0], radix=1)
+
+    def test_input_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown input kind"):
+            TaskInput("bogus", 0, 1.0)
+
+    def test_priority_orders_rows_then_levels(self):
+        t_row0_leaf = Task(1, row=0, level=0, inputs=[], is_final=False,
+                           row_order=0)
+        t_row0_root = Task(2, row=0, level=2, inputs=[], is_final=True,
+                           row_order=0)
+        t_row1_leaf = Task(3, row=1, level=0, inputs=[], is_final=True,
+                           row_order=1)
+        keys = sorted([t_row1_leaf, t_row0_leaf, t_row0_root],
+                      key=lambda t: t.priority_key())
+        assert keys[0] is t_row0_root  # higher level first within a row
+        assert keys[-1] is t_row1_leaf  # later rows last
+
+    def test_tree_functional_equivalence(self):
+        # Executing the tree bottom-up must equal one flat combination.
+        rng = np.random.default_rng(31)
+        fibers = []
+        for _ in range(30):
+            coords = np.unique(rng.choice(80, size=10))
+            fibers.append(Fiber(coords, rng.normal(size=len(coords))))
+        scales = rng.normal(size=30)
+        tasks = build_task_tree(0, list(range(30)), scales.tolist(), radix=4)
+        partials = {}
+        for task in tasks:
+            ins, sc = [], []
+            for inp in task.inputs:
+                if inp.kind == "B":
+                    ins.append(fibers[inp.index])
+                else:
+                    ins.append(partials[inp.index])
+                sc.append(inp.scale)
+            partials[task.task_id] = linear_combine(ins, sc)
+        tree_out = partials[tasks[-1].task_id]
+        flat_out = linear_combine(fibers, scales.tolist())
+        np.testing.assert_array_equal(tree_out.coords, flat_out.coords)
+        np.testing.assert_allclose(tree_out.values, flat_out.values,
+                                   atol=1e-10)

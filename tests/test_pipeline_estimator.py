@@ -1,0 +1,76 @@
+"""Unit tests for the preprocessing pipeline's ordering estimator."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators
+from repro.preprocessing.pipeline import estimate_b_traffic
+from repro.preprocessing.tiling import RowFragment
+
+
+def fragments_of(matrix):
+    return [
+        RowFragment(row,
+                    matrix.coords[matrix.offsets[row]:
+                                  matrix.offsets[row + 1]],
+                    matrix.values[matrix.offsets[row]:
+                                  matrix.offsets[row + 1]])
+        for row in range(matrix.num_rows)
+        if matrix.row_nnz(row)
+    ]
+
+
+class TestEstimateBTraffic:
+    def test_infinite_capacity_touches_each_row_once(self):
+        m = generators.uniform_random(80, 80, 4.0, seed=1)
+        frags = fragments_of(m)
+        order = list(range(len(frags)))
+        traffic = estimate_b_traffic(frags, order, m, 1 << 40)
+        touched = np.unique(m.coords)
+        expected = sum(m.row_nnz(int(k)) for k in touched) * 12
+        assert traffic == expected
+
+    def test_zero_capacity_touches_every_reference(self):
+        m = generators.uniform_random(50, 50, 3.0, seed=2)
+        frags = fragments_of(m)
+        order = list(range(len(frags)))
+        traffic = estimate_b_traffic(frags, order, m, 0)
+        expected = sum(m.row_nnz(int(k)) for k in m.coords) * 12
+        assert traffic == expected
+
+    def test_good_order_beats_bad_order(self):
+        mesh = generators.mesh(300, 10.0, seed=3)
+        scrambled = generators.symmetric_permute(mesh, seed=4)
+        frags = fragments_of(scrambled)
+        natural = list(range(len(frags)))
+        # Order fragments by their first coordinate ~ recovers the band.
+        by_anchor = sorted(
+            natural, key=lambda i: int(frags[i].coords[0]))
+        capacity = 8 * 1024
+        assert (estimate_b_traffic(frags, by_anchor, scrambled, capacity)
+                < estimate_b_traffic(frags, natural, scrambled, capacity))
+
+    def test_empty_fragments(self):
+        m = generators.uniform_random(10, 10, 2.0, seed=5)
+        assert estimate_b_traffic([], [], m, 1024) == 0
+
+    def test_monotone_in_capacity(self):
+        m = generators.power_law(200, 200, 5.0, seed=6, max_degree=30)
+        frags = fragments_of(m)
+        order = list(range(len(frags)))
+        traffics = [
+            estimate_b_traffic(frags, order, m, cap)
+            for cap in (0, 512, 8 * 1024, 1 << 30)
+        ]
+        assert traffics == sorted(traffics, reverse=True)
+
+
+class TestSpecDispatch:
+    def test_unknown_family_rejected(self):
+        from repro.matrices.suite import MatrixSpec
+
+        spec = MatrixSpec(
+            name="x", family="hologram", paper_rows=10, paper_cols=10,
+            paper_npr=1.0, rows=10, cols=10, npr=1.0)
+        with pytest.raises(ValueError, match="unknown matrix family"):
+            spec.generate()

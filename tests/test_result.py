@@ -1,0 +1,75 @@
+"""Tests for SimulationResult derived metrics."""
+
+import pytest
+
+from repro.config import GammaConfig
+from repro.core.result import SimulationResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        output=None,
+        cycles=1000.0,
+        traffic_bytes={"A": 1200, "B": 6400, "C": 2400,
+                       "partial_read": 0, "partial_write": 0},
+        compulsory_bytes={"A": 1200, "B": 6400, "C": 2400},
+        flops=5000,
+        pe_busy_cycles=16000.0,
+        num_tasks=100,
+        num_partial_fibers=0,
+        cache_utilization={"B": 0.5, "partial": 0.1, "unused": 0.4},
+        config=GammaConfig(),
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_totals(self):
+        result = make_result()
+        assert result.total_traffic == 10000
+        assert result.total_compulsory == 10000
+        assert result.normalized_traffic == pytest.approx(1.0)
+        assert result.noncompulsory_bytes == 0
+
+    def test_noncompulsory(self):
+        result = make_result(
+            traffic_bytes={"A": 1200, "B": 9000, "C": 2400,
+                           "partial_read": 500, "partial_write": 500})
+        assert result.noncompulsory_bytes == 13600 - 10000
+
+    def test_normalized_breakdown(self):
+        result = make_result()
+        breakdown = result.normalized_breakdown()
+        assert breakdown["B"] == pytest.approx(0.64)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_bandwidth_utilization(self):
+        result = make_result()
+        # 10000 bytes over 1000 cycles at 128 B/cycle.
+        assert result.bandwidth_utilization == pytest.approx(
+            10000 / (1000 * 128))
+
+    def test_bandwidth_capped_at_one(self):
+        result = make_result(cycles=1.0)
+        assert result.bandwidth_utilization == 1.0
+
+    def test_pe_utilization(self):
+        result = make_result()
+        assert result.pe_utilization == pytest.approx(
+            16000 / (1000 * 32))
+
+    def test_zero_cycles(self):
+        result = make_result(cycles=0.0)
+        assert result.bandwidth_utilization == 0.0
+        assert result.pe_utilization == 0.0
+        assert result.gflops == 0.0
+
+    def test_runtime_and_gflops(self):
+        result = make_result()
+        assert result.runtime_seconds == pytest.approx(1e-6)
+        assert result.gflops == pytest.approx(5.0)
+
+    def test_operational_intensity(self):
+        result = make_result()
+        assert result.operational_intensity == pytest.approx(0.5)

@@ -1,0 +1,71 @@
+"""Tests for the shared reuse-distance models."""
+
+import pytest
+
+from repro.analysis.reuse import (
+    LruRowCache,
+    b_read_traffic,
+    gustavson_row_stream,
+)
+from repro.matrices import generators
+
+
+class TestGustavsonStream:
+    def test_order_matches_a_nonzeros(self):
+        a = generators.uniform_random(30, 30, 3.0, seed=1)
+        stream = list(gustavson_row_stream(a))
+        assert stream == a.coords.tolist()
+
+    def test_empty(self):
+        from repro.matrices.csr import CsrMatrix
+
+        a = CsrMatrix.from_rows([], 5)
+        assert list(gustavson_row_stream(a)) == []
+
+
+class TestLruCapacityBehaviour:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LruRowCache(-1)
+
+    def test_zero_capacity_always_misses(self):
+        cache = LruRowCache(0)
+        cache.access(1, 10)
+        assert cache.access(1, 10) is True  # immediately evicted
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_hit_counters(self):
+        cache = LruRowCache(100)
+        cache.access(1, 10)
+        cache.access(1, 10)
+        cache.access(2, 10)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.resident_bytes == 20
+
+    def test_monotone_in_capacity(self):
+        """More capacity never increases modelled traffic."""
+        a = generators.power_law(300, 300, 5.0, seed=2, max_degree=40)
+        traffics = [
+            b_read_traffic(a.coords, a, capacity)
+            for capacity in (0, 1 << 10, 1 << 14, 1 << 30)
+        ]
+        assert traffics == sorted(traffics, reverse=True)
+
+    def test_infinite_capacity_equals_compulsory(self):
+        a = generators.uniform_random(100, 100, 4.0, seed=3)
+        import numpy as np
+
+        touched = np.unique(a.coords)
+        compulsory = sum(a.row_nnz(int(k)) for k in touched) * 12
+        assert b_read_traffic(a.coords, a, 1 << 40) == compulsory
+
+    def test_locality_reduces_traffic(self):
+        """A banded access stream outperforms a shuffled one under LRU."""
+        mesh = generators.mesh(400, 10.0, seed=4)
+        scrambled = generators.symmetric_permute(mesh, seed=5)
+        capacity = 8 * 1024
+        local = b_read_traffic(mesh.coords, mesh, capacity)
+        shuffled = b_read_traffic(scrambled.coords, scrambled, capacity)
+        assert local < 0.7 * shuffled

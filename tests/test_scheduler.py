@@ -1,0 +1,143 @@
+"""Unit tests for work programs and the dynamic scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import Scheduler, WorkItem, WorkProgram
+from repro.matrices import generators
+from repro.matrices.csr import CsrMatrix
+
+
+def drain(scheduler):
+    """Dispatch every task, completing each immediately; returns the list."""
+    executed = []
+    while True:
+        scheduler.refill(8)
+        task = scheduler.next_task()
+        if task is None:
+            assert scheduler.exhausted
+            return executed
+        executed.append(task)
+        for inp in task.inputs:
+            if inp.kind == "partial":
+                scheduler.partial_consumed()
+        scheduler.task_completed(task)
+
+
+class TestWorkProgram:
+    def test_from_matrix_skips_empty_rows(self):
+        a = CsrMatrix.from_dense(np.array([
+            [1.0, 0.0], [0.0, 0.0], [2.0, 3.0],
+        ]))
+        program = WorkProgram.from_matrix(a)
+        assert [item.row for item in program.items] == [0, 2]
+        assert program.items[1].nnz == 2
+
+    def test_validate_against(self):
+        a = generators.uniform_random(20, 20, 3.0, seed=1)
+        WorkProgram.from_matrix(a).validate_against(a)
+
+    def test_validate_catches_missing_coverage(self):
+        a = generators.uniform_random(20, 20, 3.0, seed=2)
+        program = WorkProgram.from_matrix(a)
+        program.items.pop()
+        with pytest.raises(ValueError, match="covers"):
+            program.validate_against(a)
+
+
+class TestSchedulerDispatch:
+    def test_all_tasks_dispatched(self):
+        a = generators.uniform_random(50, 50, 4.0, seed=3)
+        scheduler = Scheduler(WorkProgram.from_matrix(a), radix=64)
+        executed = drain(scheduler)
+        finals = [t for t in executed if t.is_final]
+        nonempty = sum(1 for r in range(50) if a.row_nnz(r) > 0)
+        assert len(finals) == nonempty
+
+    def test_row_order_of_final_tasks(self):
+        """Final tasks complete in row order (ordered output)."""
+        a = generators.uniform_random(40, 40, 4.0, seed=4)
+        scheduler = Scheduler(WorkProgram.from_matrix(a), radix=64)
+        finals = [t.row for t in drain(scheduler) if t.is_final]
+        assert finals == sorted(finals)
+
+    def test_dependencies_respected(self):
+        a = generators.mixed_density(
+            30, 30, 4.0, dense_row_fraction=0.2, dense_row_nnz=25, seed=5)
+        scheduler = Scheduler(WorkProgram.from_matrix(a), radix=4)
+        completed = set()
+        for task in drain(scheduler):
+            for inp in task.inputs:
+                if inp.kind == "partial":
+                    assert inp.index in completed
+            completed.add(task.task_id)
+
+    def test_partial_budget_respected_while_draining(self):
+        a = generators.mixed_density(
+            60, 60, 4.0, dense_row_fraction=0.3, dense_row_nnz=50, seed=6)
+        scheduler = Scheduler(
+            WorkProgram.from_matrix(a), radix=4,
+            max_outstanding_partials=8)
+        while True:
+            scheduler.refill(4)
+            task = scheduler.next_task()
+            if task is None:
+                break
+            for inp in task.inputs:
+                if inp.kind == "partial":
+                    scheduler.partial_consumed()
+            scheduler.task_completed(task)
+            # The budget may overshoot within one item's tree, but stays
+            # bounded by tree size, not by the program length.
+            assert scheduler.outstanding_partials < 64
+
+    def test_multipart_row_combine_task(self):
+        """Tiled rows end with a final combine task over the part outputs."""
+        coords = np.arange(12)
+        values = np.ones(12)
+        items = [
+            WorkItem(row=0, part=0, num_parts=2, coords=coords[:6],
+                     values=values[:6]),
+            WorkItem(row=0, part=1, num_parts=2, coords=coords[6:],
+                     values=values[6:]),
+        ]
+        scheduler = Scheduler(WorkProgram(items, 1, 12), radix=64)
+        executed = drain(scheduler)
+        finals = [t for t in executed if t.is_final]
+        assert len(finals) == 1
+        assert all(i.kind == "partial" for i in finals[0].inputs)
+        assert len(finals[0].inputs) == 2
+
+    def test_scattered_parts_complete(self):
+        """Parts of one row interleaved with other rows still combine."""
+        items = [
+            WorkItem(row=0, part=0, num_parts=2,
+                     coords=np.array([0]), values=np.array([1.0])),
+            WorkItem(row=1, part=0, num_parts=1,
+                     coords=np.array([1]), values=np.array([1.0])),
+            WorkItem(row=0, part=1, num_parts=2,
+                     coords=np.array([2]), values=np.array([1.0])),
+        ]
+        scheduler = Scheduler(WorkProgram(items, 2, 3), radix=64)
+        executed = drain(scheduler)
+        assert sum(t.is_final for t in executed) == 2
+
+    def test_many_parts_build_combine_tree(self):
+        parts = 10
+        items = [
+            WorkItem(row=0, part=i, num_parts=parts,
+                     coords=np.array([i]), values=np.array([1.0]))
+            for i in range(parts)
+        ]
+        scheduler = Scheduler(WorkProgram(items, 1, parts), radix=3)
+        executed = drain(scheduler)
+        finals = [t for t in executed if t.is_final]
+        assert len(finals) == 1
+        # Combine tree of 10 partials at radix 3 needs interior levels.
+        assert len(executed) > parts + 1
+
+    def test_negative_partial_accounting_raises(self):
+        a = generators.uniform_random(10, 10, 2.0, seed=7)
+        scheduler = Scheduler(WorkProgram.from_matrix(a), radix=64)
+        with pytest.raises(RuntimeError, match="negative"):
+            scheduler.partial_consumed()

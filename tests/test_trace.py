@@ -1,0 +1,114 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.config import GammaConfig
+from repro.core import ExecutionTrace, GammaSimulator
+from repro.core.trace import TaskEvent
+from repro.matrices import generators
+
+
+def traced_run(matrix, config=None):
+    trace = ExecutionTrace()
+    sim = GammaSimulator(config or GammaConfig(), trace=trace,
+                         keep_output=False)
+    result = sim.run(matrix, matrix)
+    return trace, result
+
+
+class TestTraceRecording:
+    def test_one_event_per_task(self):
+        a = generators.uniform_random(80, 80, 4.0, seed=1)
+        trace, result = traced_run(a)
+        assert trace.num_events == result.num_tasks
+
+    def test_busy_cycles_sum_matches_result(self):
+        a = generators.uniform_random(80, 80, 4.0, seed=2)
+        trace, result = traced_run(a)
+        assert sum(e.busy_cycles for e in trace.events) == pytest.approx(
+            result.pe_busy_cycles)
+
+    def test_makespan_bounded_by_cycles(self):
+        a = generators.uniform_random(80, 80, 4.0, seed=3)
+        trace, result = traced_run(a)
+        assert trace.makespan <= result.cycles + 1e-9
+
+    def test_events_have_valid_pes(self):
+        a = generators.uniform_random(60, 60, 3.0, seed=4)
+        config = GammaConfig(num_pes=4)
+        trace, _ = traced_run(a, config)
+        assert all(0 <= e.pe < 4 for e in trace.events)
+
+    def test_finish_after_start(self):
+        a = generators.uniform_random(60, 60, 3.0, seed=5)
+        trace, _ = traced_run(a)
+        assert all(e.finish >= e.start for e in trace.events)
+
+    def test_tree_levels_recorded(self):
+        a = generators.mixed_density(
+            60, 60, 4.0, dense_row_fraction=0.2, dense_row_nnz=50, seed=6)
+        trace, _ = traced_run(a, GammaConfig(radix=4))
+        levels = trace.tasks_by_level()
+        assert 0 in levels
+        assert any(level > 0 for level in levels)
+
+
+class TestTraceAnalyses:
+    def test_pe_utilization_bounds(self):
+        a = generators.uniform_random(120, 120, 5.0, seed=7)
+        config = GammaConfig(num_pes=8)
+        trace, _ = traced_run(a, config)
+        util = trace.pe_utilization(num_pes=8)
+        assert len(util) == 8
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
+    def test_load_imbalance_at_least_one(self):
+        a = generators.uniform_random(120, 120, 5.0, seed=8)
+        trace, _ = traced_run(a)
+        assert trace.load_imbalance() >= 1.0
+
+    def test_phase_timeline_conserves_work(self):
+        a = generators.uniform_random(150, 150, 5.0, seed=9)
+        trace, result = traced_run(a)
+        windows = trace.phase_timeline(num_windows=10)
+        assert len(windows) == 10
+        assert sum(w["busy_cycles"] for w in windows) == pytest.approx(
+            result.pe_busy_cycles)
+        assert sum(w["tasks"] for w in windows) == trace.num_events
+
+    def test_phase_timeline_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            ExecutionTrace().phase_timeline(0)
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace()
+        assert trace.makespan == 0.0
+        assert trace.load_imbalance() == 1.0
+        assert trace.phase_timeline() == []
+
+    def test_longest_tasks_ordered(self):
+        a = generators.mixed_density(
+            80, 80, 4.0, dense_row_fraction=0.1, dense_row_nnz=60,
+            seed=10)
+        trace, _ = traced_run(a, GammaConfig(radix=8))
+        longest = trace.longest_tasks(5)
+        assert len(longest) == 5
+        busy = [e.busy_cycles for e in longest]
+        assert busy == sorted(busy, reverse=True)
+
+    def test_csv_rows(self):
+        a = generators.uniform_random(40, 40, 3.0, seed=11)
+        trace, _ = traced_run(a)
+        rows = trace.to_rows()
+        assert len(rows) == trace.num_events
+        assert len(rows[0]) == len(ExecutionTrace.CSV_HEADER)
+
+    def test_stall_cycles_nonnegative(self):
+        event = TaskEvent(1, 0, 0, True, 0, start=10.0, finish=12.0,
+                          busy_cycles=5, b_miss_lines=0,
+                          partial_miss_lines=0)
+        assert event.stall_cycles == 0.0
+        event2 = TaskEvent(2, 0, 0, True, 0, start=10.0, finish=20.0,
+                           busy_cycles=5, b_miss_lines=0,
+                           partial_miss_lines=0)
+        assert event2.stall_cycles == 5.0
