@@ -8,11 +8,31 @@ pay once), prints the resulting table, saves it under
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def prewarm_sweep():
+    """Optionally pre-warm the result cache in parallel before any figure.
+
+    Set ``REPRO_SWEEP_WORKERS=<n>`` to run the default model sweep (both
+    suites, every figure model, G and GP variants) across ``n`` processes
+    first; the figures then run against a hot cache. Unset, benchmarks
+    behave exactly as before (serial, cache-as-you-go).
+    """
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+    if workers > 0:
+        from repro.engine import plan_sweep, run_sweep
+        from repro.matrices import suite
+
+        names = suite.common_set_names() + suite.extended_set_names()
+        run_sweep(plan_sweep(names), workers=workers)
+    yield
 
 
 @pytest.fixture

@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig12 table2 ... # several
     python -m repro suite                # the scaled matrix suites
     python -m repro export out/ fig12    # write .txt/.csv/.json artifacts
+    python -m repro sweep                # pre-warm the disk cache in parallel
+    python -m repro sweep --set common --models gamma,mkl --workers 8
 """
 
 from __future__ import annotations
@@ -52,6 +54,69 @@ def _cmd_export(directory: str, ids: List[str]) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.engine import (
+        DEFAULT_MODELS,
+        DEFAULT_VARIANTS,
+        pending_points,
+        plan_sweep,
+        run_sweep,
+    )
+    from repro.matrices import suite
+
+    if args.matrices:
+        matrices = [name for token in args.matrices
+                    for name in token.split(",") if name]
+        for name in matrices:
+            try:
+                suite.spec_by_name(name)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+    elif args.set == "common":
+        matrices = suite.common_set_names()
+    elif args.set == "extended":
+        matrices = suite.extended_set_names()
+    else:
+        matrices = suite.common_set_names() + suite.extended_set_names()
+    models = (args.models.split(",") if args.models
+              else list(DEFAULT_MODELS))
+    variants = (args.variants.split(",") if args.variants
+                else list(DEFAULT_VARIANTS))
+    try:
+        points = plan_sweep(matrices, models=models, variants=variants)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    misses = pending_points(points)
+    print(f"sweep: {len(points)} points planned, "
+          f"{len(points) - len(misses)} cached, {len(misses)} to run")
+    if args.dry_run:
+        for point in misses:
+            label = f"{point.model}:{point.matrix}"
+            if point.model == "gamma":
+                label += f":{point.variant}"
+            print(f"  {label}")
+        return 0
+    done = {"count": 0}
+
+    def progress(point, record):
+        done["count"] += 1
+        label = f"{point.model}:{point.matrix}"
+        if point.model == "gamma":
+            label += f":{point.variant}"
+        print(f"[{done['count']}/{len(points)}] {label}  "
+              f"cycles={record.cycles:.0f}")
+
+    run_sweep(points, workers=args.workers, serial=args.serial,
+              on_result=progress)
+    from repro.engine import diskcache
+    store = ("the disk cache" if diskcache.cache_enabled()
+             else "memory only (disk cache disabled)")
+    print(f"sweep complete: {len(points)} records in {store}")
+    return 0
+
+
 def _cmd_suite() -> int:
     from repro.experiments import run_experiment
 
@@ -76,6 +141,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     export_parser.add_argument("ids", nargs="*",
                                help="experiment ids (default: all)")
     sub.add_parser("suite", help="print the scaled matrix suites")
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="pre-warm the result cache with a parallel model sweep")
+    sweep_parser.add_argument(
+        "--set", choices=("common", "extended", "all"), default="all",
+        help="matrix suite to sweep (default: all)")
+    sweep_parser.add_argument(
+        "--matrices", nargs="*", metavar="NAME",
+        help="explicit suite matrix names, space- or comma-separated "
+             "(overrides --set)")
+    sweep_parser.add_argument(
+        "--models", metavar="M1,M2",
+        help="comma-separated registry models "
+             "(default: gamma,ip,outerspace,sparch,mkl)")
+    sweep_parser.add_argument(
+        "--variants", metavar="V1,V2",
+        help="comma-separated Gamma preprocessing variants "
+             "(default: none,full)")
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: cpu count)")
+    sweep_parser.add_argument(
+        "--serial", action="store_true",
+        help="run misses in-process (debugging/determinism checks)")
+    sweep_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="plan and report, but run nothing")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -86,6 +178,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_export(args.directory, args.ids)
     if args.command == "suite":
         return _cmd_suite()
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -83,4 +83,5 @@ def run_mkl_model(
         frequency_hz=config.frequency_hz,
         traffic_bytes=traffic,
         flops=flops,
+        c_nnz=c_nnz,
     )

@@ -113,4 +113,5 @@ def run_inner_product_model(
         frequency_hz=config.frequency_hz,
         traffic_bytes=traffic,
         flops=flops,
+        c_nnz=c_nnz,
     )

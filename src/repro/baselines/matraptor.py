@@ -55,4 +55,5 @@ def run_matraptor_model(
         frequency_hz=config.frequency_hz,
         traffic_bytes=traffic,
         flops=flops,
+        c_nnz=c_nnz,
     )

@@ -89,4 +89,5 @@ def run_outerspace_model(
         frequency_hz=config.frequency_hz,
         traffic_bytes=traffic,
         flops=flops,
+        c_nnz=c_nnz,
     )

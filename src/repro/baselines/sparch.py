@@ -126,4 +126,5 @@ def run_sparch_model(
         frequency_hz=config.frequency_hz,
         traffic_bytes=traffic,
         flops=flops,
+        c_nnz=c_nnz,
     )

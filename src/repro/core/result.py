@@ -27,6 +27,8 @@ class SimulationResult:
         cache_utilization: Time-averaged FiberCache occupancy fractions
             ('B' / 'partial' / 'unused').
         config: The simulated system.
+        c_nnz: Nonzeros of the output matrix (known even when the output
+            itself is discarded with ``keep_output=False``).
     """
 
     output: Optional[CsrMatrix]
@@ -39,6 +41,7 @@ class SimulationResult:
     num_partial_fibers: int
     cache_utilization: Dict[str, float]
     config: GammaConfig
+    c_nnz: Optional[int] = None
 
     @property
     def total_traffic(self) -> int:

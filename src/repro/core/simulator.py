@@ -330,12 +330,15 @@ class _RunState:
         self.memory.account("A", a_bytes)
 
     # -- results ------------------------------------------------------------
+    def c_nnz(self) -> int:
+        """Nonzeros of the computed output."""
+        return sum(len(f) for f in self.output_rows.values())
+
     def compulsory(self) -> Dict[str, int]:
         """Minimum traffic: read A, read touched B rows once, write C."""
         from repro.analysis.traffic import compulsory_traffic
 
-        c_nnz = sum(len(f) for f in self.output_rows.values())
-        return compulsory_traffic(self.a, self.b, c_nnz)
+        return compulsory_traffic(self.a, self.b, self.c_nnz())
 
     def result(self, keep_output: bool) -> SimulationResult:
         output = None
@@ -356,6 +359,7 @@ class _RunState:
             num_partial_fibers=self.num_partials,
             cache_utilization=self.cache.average_utilization(),
             config=self.config,
+            c_nnz=self.c_nnz(),
         )
 
 

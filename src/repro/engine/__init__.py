@@ -1,0 +1,69 @@
+"""Model registry + parallel sweep engine.
+
+The engine is the layer between the simulators (``repro.core``,
+``repro.baselines``) and the experiment harness (``repro.experiments``):
+
+* :mod:`repro.engine.record` — :class:`RunRecord`, the one serializable
+  result type every model returns;
+* :mod:`repro.engine.registry` — models by name behind a single
+  ``run(a, b, config, **variant)`` interface;
+* :mod:`repro.engine.sweep` — cross-product planning and process-parallel
+  execution with the disk cache as the shared result store;
+* :mod:`repro.engine.diskcache` — atomic, schema-versioned JSON cache;
+* :mod:`repro.engine.defaults` — the 1/64-scale experiment system.
+"""
+
+from repro.engine.defaults import (
+    MODEL_SCALE,
+    PREPROCESS_VARIANTS,
+    SCALED_FIBERCACHE_BYTES,
+    TILE_THRESHOLD_BYTES,
+    preprocess_config_key,
+    preprocess_options,
+    scaled_cpu_config,
+    scaled_gamma_config,
+)
+from repro.engine.record import RunRecord, derive_c_nnz
+from repro.engine.registry import (
+    Model,
+    available_models,
+    default_config_for,
+    get_model,
+    register_model,
+)
+from repro.engine.sweep import (
+    DEFAULT_MODELS,
+    DEFAULT_VARIANTS,
+    SweepPoint,
+    execute_point,
+    pending_points,
+    plan_sweep,
+    record_key,
+    run_sweep,
+)
+
+__all__ = [
+    "DEFAULT_MODELS",
+    "DEFAULT_VARIANTS",
+    "MODEL_SCALE",
+    "Model",
+    "PREPROCESS_VARIANTS",
+    "RunRecord",
+    "SCALED_FIBERCACHE_BYTES",
+    "SweepPoint",
+    "TILE_THRESHOLD_BYTES",
+    "available_models",
+    "default_config_for",
+    "derive_c_nnz",
+    "execute_point",
+    "get_model",
+    "pending_points",
+    "plan_sweep",
+    "preprocess_config_key",
+    "preprocess_options",
+    "record_key",
+    "register_model",
+    "run_sweep",
+    "scaled_cpu_config",
+    "scaled_gamma_config",
+]

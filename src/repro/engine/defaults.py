@@ -1,0 +1,81 @@
+"""Default experiment system: paper Table 1 at 1/64 scale.
+
+Experiments run on a 1/64-scale Gamma (see DESIGN.md): suite matrices have
+~1/64 of the paper's rows at the paper's nnz/row, and the FiberCache scales
+with them, preserving every normalized metric (traffic ratios, bandwidth
+utilization, speedups). Per-row footprints do *not* scale, so the tiling
+threshold is anchored to absolute row footprints via
+``TILE_THRESHOLD_BYTES``.
+
+These constants live in the engine (not the experiment facade) so sweep
+worker processes can rebuild the exact same configurations from a pickled
+:class:`~repro.engine.sweep.SweepPoint` alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.config import CpuConfig, GammaConfig, PreprocessConfig
+
+#: Scale factor between the paper's system and the simulated one.
+MODEL_SCALE = 64
+
+#: Paper FiberCache (3 MB) divided by the suite scale.
+SCALED_FIBERCACHE_BYTES = 3 * 1024 * 1024 // MODEL_SCALE
+
+#: Selective-tiling footprint threshold. Absolute, because per-row
+#: footprints do not shrink with the suite scale (DESIGN.md).
+TILE_THRESHOLD_BYTES = 2 * SCALED_FIBERCACHE_BYTES
+
+#: Preprocessing variants by name (the paper's bar labels).
+PREPROCESS_VARIANTS = ("none", "reorder", "reorder_tile_all", "full")
+
+#: GammaConfig fields the preprocessing pipeline actually consumes.
+#: Program cache keys are derived from exactly this list, so programs are
+#: shared across config sweeps that only vary other fields (PE count,
+#: bandwidth, ...). Extend it if the pipeline starts reading more fields.
+PREPROCESS_CONFIG_FIELDS = ("fibercache_bytes", "radix")
+
+
+def scaled_gamma_config(**overrides) -> GammaConfig:
+    """The default experiment system: paper Table 1 at 1/64 scale."""
+    params = dict(fibercache_bytes=SCALED_FIBERCACHE_BYTES)
+    params.update(overrides)
+    return GammaConfig(**params)
+
+
+def scaled_cpu_config() -> CpuConfig:
+    """The MKL platform with its LLC at the same 1/64 scale."""
+    return CpuConfig(llc_bytes=8 * 1024 * 1024 // MODEL_SCALE)
+
+
+def preprocess_options(variant: str) -> Optional[PreprocessConfig]:
+    """Map a variant name to preprocessing options (None = plain Gamma)."""
+    if variant == "none":
+        return None
+    if variant == "reorder":
+        base = PreprocessConfig.reorder_only()
+    elif variant == "reorder_tile_all":
+        base = PreprocessConfig.reorder_tile_all()
+    elif variant == "full":
+        base = PreprocessConfig.full()
+    else:
+        raise ValueError(
+            f"unknown preprocessing variant {variant!r}; "
+            f"known: {PREPROCESS_VARIANTS}"
+        )
+    return dataclasses.replace(
+        base, tile_threshold_bytes=TILE_THRESHOLD_BYTES)
+
+
+def preprocess_config_key(config: GammaConfig) -> dict:
+    """The canonical program-cache key fields for a configuration.
+
+    Both the in-memory program memo and the program disk cache key off
+    this dict, keeping the record-level and program-level cache keys
+    consistent (one source of truth for which config fields matter).
+    """
+    return {name: getattr(config, name)
+            for name in PREPROCESS_CONFIG_FIELDS}

@@ -1,0 +1,87 @@
+"""Disk-backed memoization shared by every process of a sweep.
+
+Simulations of the full suites take minutes; persisting their numeric
+results (never the output matrices) lets separate pytest/benchmark/sweep
+processes share one sweep. The cache lives under ``.repro_cache/`` in the
+working directory (override with ``REPRO_CACHE_DIR``) and is keyed by a
+hash of the simulation parameters, the package version, and the record
+schema version — bump either to invalidate.
+
+Writes are atomic: each entry is serialized to a uniquely named temporary
+file in the cache directory and moved into place with ``os.replace``, so
+concurrent sweep workers racing on the same key can never leave a torn or
+interleaved JSON entry — the last complete write wins (and both writers
+compute identical payloads anyway).
+
+Delete the directory (or set ``REPRO_NO_DISK_CACHE=1``) to force re-runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional
+
+import repro
+from repro.engine.record import SCHEMA_VERSION
+from repro.matrices.generators import GENERATOR_VERSION
+
+
+def cache_dir() -> pathlib.Path:
+    """The cache directory (env-dependent, so workers honor overrides)."""
+    return pathlib.Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
+
+
+def cache_key(kind: str, **params) -> str:
+    """Stable key from parameters plus package/schema/generator versions."""
+    payload = json.dumps(
+        {"kind": kind, "version": repro.__version__,
+         "schema": SCHEMA_VERSION, "generator": GENERATOR_VERSION,
+         **params},
+        sort_keys=True, default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def contains(key: str) -> bool:
+    """Whether a (well-formed or not) entry exists for this key."""
+    return cache_enabled() and (cache_dir() / f"{key}.json").exists()
+
+
+def load(key: str) -> Optional[Dict]:
+    if not cache_enabled():
+        return None
+    path = cache_dir() / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def store(key: str, payload: Dict) -> None:
+    if not cache_enabled():
+        return
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{key}.json"
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{key}.", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

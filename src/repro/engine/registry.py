@@ -1,0 +1,184 @@
+"""Model registry: every simulated design behind one ``run`` interface.
+
+The paper's evaluation is a cross-product over designs — {Gamma, IP,
+OuterSPACE, SpArch, MKL (+ MatRaptor from the extensions)} — and the old
+experiment runner dispatched them through a hard-coded ``if/elif`` chain.
+Here each design is a :class:`Model` registered by name; callers (the
+experiment facade, the sweep engine, the CLI) look models up with
+:func:`get_model` and invoke ``model.run(a, b, config, **variant)``,
+always receiving a :class:`~repro.engine.record.RunRecord`.
+
+Registering a new model is one decorated class::
+
+    @register_model("mymodel")
+    class MyModel:
+        def run(self, a, b, config=None, *, matrix="", c_nnz=None, **kw):
+            ...
+            return RunRecord(...)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.analysis.traffic import compulsory_traffic
+from repro.config import CpuConfig, GammaConfig
+from repro.engine.defaults import (
+    preprocess_options,
+    scaled_cpu_config,
+    scaled_gamma_config,
+)
+from repro.engine.record import RunRecord
+from repro.matrices.csr import CsrMatrix
+
+try:  # pragma: no cover - typing_extensions not required at runtime
+    from typing import Protocol
+except ImportError:  # Python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+
+class Model(Protocol):
+    """What the engine requires of a registered model."""
+
+    def run(self, a: CsrMatrix, b: CsrMatrix,
+            config=None, **variant) -> RunRecord:
+        """Evaluate C = A x B and return a serializable record."""
+        ...
+
+
+_REGISTRY: Dict[str, Callable[[], Model]] = {}
+
+
+def register_model(name: str):
+    """Class decorator adding a model factory to the registry."""
+
+    def decorator(cls):
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_model(name: str) -> Model:
+    """Instantiate the registered model ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_models() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def default_config_for(model: str) -> Union[GammaConfig, CpuConfig]:
+    """The scaled experiment configuration a model runs under by default."""
+    return scaled_cpu_config() if model == "mkl" else scaled_gamma_config()
+
+
+# ----------------------------------------------------------------------
+# Gamma
+# ----------------------------------------------------------------------
+@register_model("gamma")
+class GammaModel:
+    """The cycle-level Gamma simulator behind the registry interface."""
+
+    def run(self, a: CsrMatrix, b: CsrMatrix,
+            config: Optional[GammaConfig] = None, *,
+            matrix: str = "", variant: str = "none",
+            multi_pe: bool = True, program=None, **_ignored) -> RunRecord:
+        from repro.core import GammaSimulator
+        from repro.preprocessing import preprocess
+
+        config = config or scaled_gamma_config()
+        if program is None:
+            options = preprocess_options(variant)
+            if options is not None:
+                program = preprocess(a, b, config, options)
+        sim = GammaSimulator(config, multi_pe_scheduling=multi_pe,
+                             keep_output=False)
+        result = sim.run(a, b, program=program)
+        return RunRecord.from_simulation(
+            result, matrix=matrix, variant=variant, multi_pe=multi_pe)
+
+
+# ----------------------------------------------------------------------
+# Baseline traffic models
+# ----------------------------------------------------------------------
+class _BaselineModel:
+    """Adapter wrapping a ``run_*_model`` function as a registry model.
+
+    Baselines need the true output size (``c_nnz``) for C write traffic;
+    callers that know it (the sweep engine gets it from a cached Gamma
+    record) pass it through, otherwise the model's own conservative upper
+    bound applies.
+    """
+
+    registry_name: str = ""
+
+    def _run_fn(self):
+        raise NotImplementedError
+
+    def _default_config(self):
+        return scaled_gamma_config()
+
+    def run(self, a: CsrMatrix, b: CsrMatrix, config=None, *,
+            matrix: str = "", c_nnz: Optional[int] = None,
+            **_ignored) -> RunRecord:
+        config = config or self._default_config()
+        result = self._run_fn()(a, b, config, c_nnz)
+        compulsory = compulsory_traffic(a, b, result.c_nnz or c_nnz or 0)
+        return RunRecord.from_baseline(
+            result, model=self.registry_name, matrix=matrix,
+            compulsory_bytes=compulsory, config=config)
+
+
+@register_model("ip")
+class InnerProductModel(_BaselineModel):
+    registry_name = "ip"
+
+    def _run_fn(self):
+        from repro.baselines import run_inner_product_model
+        return run_inner_product_model
+
+
+@register_model("outerspace")
+class OuterSpaceModel(_BaselineModel):
+    registry_name = "outerspace"
+
+    def _run_fn(self):
+        from repro.baselines import run_outerspace_model
+        return run_outerspace_model
+
+
+@register_model("sparch")
+class SpArchModel(_BaselineModel):
+    registry_name = "sparch"
+
+    def _run_fn(self):
+        from repro.baselines import run_sparch_model
+        return run_sparch_model
+
+
+@register_model("matraptor")
+class MatRaptorModel(_BaselineModel):
+    registry_name = "matraptor"
+
+    def _run_fn(self):
+        from repro.baselines.matraptor import run_matraptor_model
+        return run_matraptor_model
+
+
+@register_model("mkl")
+class MklModel(_BaselineModel):
+    registry_name = "mkl"
+
+    def _run_fn(self):
+        from repro.baselines import run_mkl_model
+        return run_mkl_model
+
+    def _default_config(self):
+        return scaled_cpu_config()

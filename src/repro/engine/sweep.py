@@ -1,0 +1,284 @@
+"""Sweep planner and process-parallel executor.
+
+The paper's figures are a cross-product — models x matrices x
+preprocessing variants x hardware configs (Figs. 10-25) — and each point
+is independent, so the sweep engine enumerates them as
+:class:`SweepPoint` values, skips the ones already in the disk cache, and
+executes the misses with a ``ProcessPoolExecutor``. The disk cache is the
+cross-process result store: workers write records atomically (see
+:mod:`repro.engine.diskcache`), so a crashed or raced sweep never leaves
+torn entries and a re-run only pays for what is missing.
+
+``execute_point`` is the single entry point for evaluating one point; the
+serial facade (:class:`repro.experiments.ExperimentRunner`) and the
+parallel workers both go through it, which is what makes parallel
+pre-warming produce byte-identical figures to a cold serial run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.config import CpuConfig, GammaConfig
+from repro.engine import diskcache
+from repro.engine.defaults import (
+    PREPROCESS_VARIANTS,
+    preprocess_config_key,
+    preprocess_options,
+)
+from repro.engine.record import RunRecord
+from repro.engine.registry import available_models, default_config_for, get_model
+
+#: Models evaluated by the paper's headline figures (MatRaptor is an
+#: extension and is opted into explicitly).
+DEFAULT_MODELS = ("gamma", "ip", "outerspace", "sparch", "mkl")
+
+#: Variants the headline figures need ('G' and 'GP' bars).
+DEFAULT_VARIANTS = ("none", "full")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (model, matrix, variant, config) evaluation to perform.
+
+    ``config=None`` means the model's scaled experiment default; carrying
+    the resolved config explicitly would bloat keys without changing
+    results. ``variant`` and ``multi_pe`` only affect Gamma.
+    """
+
+    model: str
+    matrix: str
+    variant: str = "none"
+    config: Union[GammaConfig, CpuConfig, None] = None
+    multi_pe: bool = True
+
+    def resolved_config(self) -> Union[GammaConfig, CpuConfig]:
+        return self.config or default_config_for(self.model)
+
+
+def record_key(point: SweepPoint) -> str:
+    """The disk-cache key of a point's :class:`RunRecord`."""
+    config = point.resolved_config()
+    return diskcache.cache_key(
+        "record",
+        model=point.model,
+        matrix=point.matrix,
+        variant=point.variant if point.model == "gamma" else "",
+        config=dataclasses.asdict(config),
+        config_kind=type(config).__name__,
+        multi_pe=point.multi_pe if point.model == "gamma" else True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Work programs (preprocessing output), cached like records
+# ----------------------------------------------------------------------
+_PROGRAM_MEMO: Dict[tuple, object] = {}
+
+
+def cached_program(matrix: str, variant: str, config: GammaConfig):
+    """Build (or recall) the preprocessed work program for a Gamma point.
+
+    Keys on :func:`preprocess_config_key` — exactly the config fields the
+    preprocessing pipeline reads — so PE-count/bandwidth sweeps share one
+    program per (matrix, variant, cache size, radix).
+    """
+    options = preprocess_options(variant)
+    if options is None:
+        return None
+    config_fields = preprocess_config_key(config)
+    memo_key = (matrix, variant, tuple(sorted(config_fields.items())))
+    if memo_key in _PROGRAM_MEMO:
+        return _PROGRAM_MEMO[memo_key]
+
+    import numpy as np
+
+    from repro.core import WorkProgram
+    from repro.core.scheduler import WorkItem
+    from repro.matrices import suite
+    from repro.preprocessing import preprocess
+
+    disk_key = diskcache.cache_key(
+        "program", matrix=matrix, variant=variant, **config_fields)
+    cached = diskcache.load(disk_key)
+    if cached is not None:
+        items = [
+            WorkItem(
+                row=row, part=part, num_parts=num_parts,
+                coords=np.asarray(coords, dtype=np.int64),
+                values=np.asarray(values, dtype=np.float64),
+            )
+            for row, part, num_parts, coords, values in cached["items"]
+        ]
+        program = WorkProgram(items, cached["num_rows"], cached["num_cols"])
+    else:
+        a, b = suite.operands(matrix)
+        program = preprocess(a, b, config, options)
+        diskcache.store(disk_key, {
+            "items": [
+                [item.row, item.part, item.num_parts,
+                 item.coords.tolist(), item.values.tolist()]
+                for item in program.items
+            ],
+            "num_rows": program.num_rows,
+            "num_cols": program.num_cols,
+        })
+    _PROGRAM_MEMO[memo_key] = program
+    return program
+
+
+# ----------------------------------------------------------------------
+# Point execution (shared by the serial facade and parallel workers)
+# ----------------------------------------------------------------------
+def execute_point(point: SweepPoint) -> RunRecord:
+    """Evaluate one sweep point, reading/populating the disk cache."""
+    key = record_key(point)
+    payload = diskcache.load(key)
+    if payload is not None:
+        try:
+            return RunRecord.from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            pass  # stale/foreign entry: recompute and overwrite
+
+    from repro.matrices import suite
+
+    a, b = suite.operands(point.matrix)
+    config = point.resolved_config()
+    model = get_model(point.model)
+    if point.model == "gamma":
+        program = cached_program(point.matrix, point.variant, config)
+        record = model.run(
+            a, b, config, matrix=point.matrix, variant=point.variant,
+            multi_pe=point.multi_pe, program=program)
+    else:
+        c_nnz = execute_point(SweepPoint("gamma", point.matrix)).c_nnz
+        record = model.run(a, b, config, matrix=point.matrix, c_nnz=c_nnz)
+    diskcache.store(key, record.to_payload())
+    return record
+
+
+def _execute_point_payload(point: SweepPoint) -> dict:
+    """Worker entry point (top-level so it pickles)."""
+    return execute_point(point).to_payload()
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def plan_sweep(
+    matrices: Sequence[str],
+    models: Sequence[str] = DEFAULT_MODELS,
+    variants: Sequence[str] = DEFAULT_VARIANTS,
+    configs: Optional[Sequence[GammaConfig]] = None,
+    multi_pe: bool = True,
+) -> List[SweepPoint]:
+    """Enumerate the (model, matrix, variant, config) cross-product.
+
+    Gamma points expand over ``variants`` and ``configs`` (``None`` =
+    scaled default only); baseline points get one evaluation per matrix
+    under their default config, matching what the figures consume.
+    """
+    for model in models:
+        if model not in available_models():
+            raise ValueError(
+                f"unknown model {model!r}; known: {available_models()}")
+    for variant in variants:
+        if variant not in PREPROCESS_VARIANTS:
+            raise ValueError(
+                f"unknown preprocessing variant {variant!r}; "
+                f"known: {PREPROCESS_VARIANTS}")
+    points: List[SweepPoint] = []
+    gamma_configs: Sequence[Optional[GammaConfig]] = configs or [None]
+    for matrix in matrices:
+        for model in models:
+            if model == "gamma":
+                for config in gamma_configs:
+                    for variant in variants:
+                        points.append(SweepPoint(
+                            "gamma", matrix, variant, config, multi_pe))
+            else:
+                points.append(SweepPoint(model, matrix, ""))
+    return points
+
+
+def pending_points(points: Iterable[SweepPoint]) -> List[SweepPoint]:
+    """Deduplicate a plan and drop points already in the disk cache."""
+    seen = set()
+    pending = []
+    for point in points:
+        if point in seen:
+            continue
+        seen.add(point)
+        if diskcache.load(record_key(point)) is None:
+            pending.append(point)
+    return pending
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_sweep(
+    points: Sequence[SweepPoint],
+    workers: Optional[int] = None,
+    serial: bool = False,
+    on_result: Optional[Callable[[SweepPoint, RunRecord], None]] = None,
+) -> Dict[SweepPoint, RunRecord]:
+    """Execute a sweep, parallelizing cache misses across processes.
+
+    Already-cached points are loaded, not recomputed. Baseline points
+    need each matrix's output size, which comes from a plain Gamma run;
+    those prerequisite points are executed first so parallel baseline
+    workers find them in the cache instead of redoing the simulation.
+
+    Args:
+        points: The plan (duplicates are collapsed).
+        workers: Process count (default: ``os.cpu_count()``).
+        serial: Run misses in this process instead — same results,
+            useful for determinism checks and debugging.
+        on_result: Called in the parent as each point completes.
+
+    Returns:
+        Every planned point mapped to its record, serial or parallel
+        alike — the result of a sweep does not depend on how it ran.
+    """
+    ordered = list(dict.fromkeys(points))
+    results: Dict[SweepPoint, RunRecord] = {}
+
+    def finish(point: SweepPoint, record: RunRecord) -> None:
+        results[point] = record
+        if on_result is not None:
+            on_result(point, record)
+
+    pending = pending_points(ordered)
+    prerequisites = list(dict.fromkeys(
+        SweepPoint("gamma", p.matrix)
+        for p in pending if p.model != "gamma"
+    ))
+    use_processes = (not serial and diskcache.cache_enabled()
+                     and (workers is None or workers > 1))
+    if use_processes:
+        max_workers = workers or os.cpu_count() or 1
+        for batch in (pending_points(prerequisites), pending):
+            _run_batch_parallel(batch, max_workers)
+    # Serial mode (and the no-disk-cache fallback, where processes cannot
+    # share results) computes misses right here, in plan order.
+    for point in ordered:
+        finish(point, execute_point(point))
+    return results
+
+
+def _run_batch_parallel(batch: Sequence[SweepPoint], workers: int) -> None:
+    if not batch:
+        return
+    with ProcessPoolExecutor(max_workers=min(workers, len(batch))) as pool:
+        futures = {pool.submit(_execute_point_payload, point): point
+                   for point in batch}
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in done:
+                future.result()  # surface worker exceptions eagerly

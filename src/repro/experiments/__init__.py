@@ -7,6 +7,7 @@ from repro.experiments.registry import (
     get_experiment,
     run_experiment,
 )
+from repro.engine import RunRecord, SweepPoint, plan_sweep, run_sweep
 from repro.experiments.runner import (
     MODEL_SCALE,
     RUNNER,
@@ -21,9 +22,13 @@ __all__ = [
     "ExperimentRunner",
     "MODEL_SCALE",
     "RUNNER",
+    "RunRecord",
+    "SweepPoint",
     "all_experiment_ids",
     "get_experiment",
+    "plan_sweep",
     "run_experiment",
+    "run_sweep",
     "scaled_cpu_config",
     "scaled_gamma_config",
 ]

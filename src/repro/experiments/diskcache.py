@@ -1,59 +1,24 @@
-"""Disk-backed memoization for experiment results.
+"""Back-compat shim: the disk cache now lives in :mod:`repro.engine.diskcache`.
 
-Simulations of the full suites take minutes; persisting their numeric
-results (never the output matrices) lets separate pytest/benchmark
-processes share one sweep. The cache lives under ``.repro_cache/`` in the
-working directory and is keyed by a hash of the simulation parameters plus
-the package version — bump ``__version__`` to invalidate.
-
-Delete the directory (or set ``REPRO_NO_DISK_CACHE=1``) to force re-runs.
+It moved into the engine so sweep workers can use it without importing the
+experiment harness (which imports the runner, which imports the engine —
+a cycle). Import from ``repro.engine.diskcache`` in new code.
 """
 
-from __future__ import annotations
+from repro.engine.diskcache import (  # noqa: F401
+    cache_dir,
+    cache_enabled,
+    cache_key,
+    contains,
+    load,
+    store,
+)
 
-import hashlib
-import json
-import os
-import pathlib
-from typing import Dict, Optional
-
-import repro
-from repro.matrices.generators import GENERATOR_VERSION
-
-CACHE_DIR = pathlib.Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
-
-
-def cache_enabled() -> bool:
-    return os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
-
-
-def cache_key(kind: str, **params) -> str:
-    """Stable key from simulation parameters and the package version."""
-    payload = json.dumps(
-        {"kind": kind, "version": repro.__version__,
-         "generator": GENERATOR_VERSION, **params},
-        sort_keys=True, default=str,
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()[:24]
-
-
-def load(key: str) -> Optional[Dict]:
-    if not cache_enabled():
-        return None
-    path = CACHE_DIR / f"{key}.json"
-    if not path.exists():
-        return None
-    try:
-        return json.loads(path.read_text())
-    except (json.JSONDecodeError, OSError):
-        return None
-
-
-def store(key: str, payload: Dict) -> None:
-    if not cache_enabled():
-        return
-    CACHE_DIR.mkdir(exist_ok=True)
-    path = CACHE_DIR / f"{key}.json"
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(payload))
-    tmp.replace(path)
+__all__ = [
+    "cache_dir",
+    "cache_enabled",
+    "cache_key",
+    "contains",
+    "load",
+    "store",
+]

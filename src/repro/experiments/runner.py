@@ -1,87 +1,75 @@
-"""Experiment runner: scaled configurations and cached simulations.
+"""Experiment runner: a thin facade over the engine's registry + sweeps.
 
-Experiments run on a 1/64-scale Gamma (see DESIGN.md): suite matrices have
-~1/64 of the paper's rows at the paper's nnz/row, and the FiberCache scales
-with them, preserving every normalized metric (traffic ratios, bandwidth
-utilization, speedups). Per-row footprints do *not* scale, so the tiling
-threshold is anchored to absolute row footprints via
-``TILE_THRESHOLD_BYTES``.
+Experiments run on a 1/64-scale Gamma (see DESIGN.md and
+:mod:`repro.engine.defaults`). The runner translates the figures' calls
+(``gamma(name, variant, config)``, ``baseline(model, name)``) into
+:class:`~repro.engine.sweep.SweepPoint` evaluations, memoizes the
+resulting :class:`~repro.engine.record.RunRecord` per point in process,
+and shares results across processes through the engine's disk cache —
+so a parallel ``python -m repro sweep`` pre-warm makes every subsequent
+serial figure run a pure cache read.
 
-All results are memoized in process — the per-figure benchmarks share one
-sweep of simulations.
+Model dispatch, configuration defaults, preprocessing-program caching,
+and (de)serialization all live in :mod:`repro.engine`; keep this module
+free of per-model logic.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
-from repro.config import CpuConfig, GammaConfig, PreprocessConfig
 from repro.analysis.traffic import compulsory_traffic
-from repro.baselines import (
-    BaselineResult,
-    run_inner_product_model,
-    run_mkl_model,
-    run_outerspace_model,
-    run_sparch_model,
+from repro.config import GammaConfig
+from repro.engine import (
+    MODEL_SCALE,
+    PREPROCESS_VARIANTS,
+    SCALED_FIBERCACHE_BYTES,
+    TILE_THRESHOLD_BYTES,
+    RunRecord,
+    SweepPoint,
+    available_models,
+    execute_point,
+    preprocess_options,
+    run_sweep,
+    scaled_cpu_config,
+    scaled_gamma_config,
 )
-from repro.core import GammaSimulator, SimulationResult, WorkProgram
 from repro.matrices import suite
-from repro.preprocessing import preprocess
 
-#: Scale factor between the paper's system and the simulated one.
-MODEL_SCALE = 64
-
-#: Paper FiberCache (3 MB) divided by the suite scale.
-SCALED_FIBERCACHE_BYTES = 3 * 1024 * 1024 // MODEL_SCALE
-
-#: Selective-tiling footprint threshold. Absolute, because per-row
-#: footprints do not shrink with the suite scale (DESIGN.md).
-TILE_THRESHOLD_BYTES = 2 * SCALED_FIBERCACHE_BYTES
-
-#: Preprocessing variants by name (the paper's bar labels).
-PREPROCESS_VARIANTS = ("none", "reorder", "reorder_tile_all", "full")
-
-
-def scaled_gamma_config(**overrides) -> GammaConfig:
-    """The default experiment system: paper Table 1 at 1/64 scale."""
-    params = dict(fibercache_bytes=SCALED_FIBERCACHE_BYTES)
-    params.update(overrides)
-    return GammaConfig(**params)
-
-
-def scaled_cpu_config() -> CpuConfig:
-    """The MKL platform with its LLC at the same 1/64 scale."""
-    return CpuConfig(llc_bytes=8 * 1024 * 1024 // MODEL_SCALE)
-
-
-def preprocess_options(variant: str) -> Optional[PreprocessConfig]:
-    """Map a variant name to preprocessing options (None = plain Gamma)."""
-    if variant == "none":
-        return None
-    if variant == "reorder":
-        base = PreprocessConfig.reorder_only()
-    elif variant == "reorder_tile_all":
-        base = PreprocessConfig.reorder_tile_all()
-    elif variant == "full":
-        base = PreprocessConfig.full()
-    else:
-        raise ValueError(
-            f"unknown preprocessing variant {variant!r}; "
-            f"known: {PREPROCESS_VARIANTS}"
-        )
-    return dataclasses.replace(
-        base, tile_threshold_bytes=TILE_THRESHOLD_BYTES)
+__all__ = [
+    "MODEL_SCALE",
+    "PREPROCESS_VARIANTS",
+    "RUNNER",
+    "SCALED_FIBERCACHE_BYTES",
+    "TILE_THRESHOLD_BYTES",
+    "ExperimentRunner",
+    "preprocess_options",
+    "scaled_cpu_config",
+    "scaled_gamma_config",
+]
 
 
 class ExperimentRunner:
     """Runs and memoizes every model the figures need."""
 
     def __init__(self) -> None:
-        self._gamma_cache: Dict[Tuple, SimulationResult] = {}
-        self._program_cache: Dict[Tuple, WorkProgram] = {}
-        self._baseline_cache: Dict[Tuple, BaselineResult] = {}
-        self._c_nnz_cache: Dict[str, int] = {}
+        self._records: Dict[SweepPoint, RunRecord] = {}
+
+    # -- engine plumbing ------------------------------------------------
+    def run_point(self, point: SweepPoint) -> RunRecord:
+        """Evaluate one sweep point (in-memory memo, then disk cache)."""
+        if point not in self._records:
+            self._records[point] = execute_point(point)
+        return self._records[point]
+
+    def sweep(self, points: Iterable[SweepPoint],
+              workers: Optional[int] = None,
+              serial: bool = False) -> List[RunRecord]:
+        """Evaluate many points, parallelizing disk-cache misses."""
+        points = list(points)
+        results = run_sweep(points, workers=workers, serial=serial)
+        self._records.update(results)
+        return [results[point] for point in dict.fromkeys(points)]
 
     # -- Gamma ----------------------------------------------------------
     def gamma(
@@ -90,117 +78,14 @@ class ExperimentRunner:
         preprocess_variant: str = "none",
         config: Optional[GammaConfig] = None,
         multi_pe: bool = True,
-    ) -> SimulationResult:
+    ) -> RunRecord:
         """Simulate Gamma on a suite matrix (cached in memory and on disk)."""
-        config = config or scaled_gamma_config()
-        key = ("gamma", name, preprocess_variant, config, multi_pe)
-        if key not in self._gamma_cache:
-            result = self._gamma_uncached(
-                name, preprocess_variant, config, multi_pe)
-            self._gamma_cache[key] = result
-            self._c_nnz_cache.setdefault(
-                name,
-                (result.compulsory_bytes["C"]
-                 - 4 * suite.load(name).num_rows) // 12,
-            )
-        return self._gamma_cache[key]
+        return self.run_point(SweepPoint(
+            "gamma", name, preprocess_variant, config, multi_pe))
 
-    def _gamma_uncached(
-        self,
-        name: str,
-        preprocess_variant: str,
-        config: GammaConfig,
-        multi_pe: bool,
-    ) -> SimulationResult:
-        from repro.experiments import diskcache
-
-        disk_key = diskcache.cache_key(
-            "gamma", name=name, variant=preprocess_variant,
-            config=dataclasses.astuple(config), multi_pe=multi_pe,
-        )
-        cached = diskcache.load(disk_key)
-        if cached is not None:
-            return SimulationResult(
-                output=None,
-                cycles=cached["cycles"],
-                traffic_bytes=cached["traffic_bytes"],
-                compulsory_bytes=cached["compulsory_bytes"],
-                flops=cached["flops"],
-                pe_busy_cycles=cached["pe_busy_cycles"],
-                num_tasks=cached["num_tasks"],
-                num_partial_fibers=cached["num_partial_fibers"],
-                cache_utilization=cached["cache_utilization"],
-                config=config,
-            )
-        a, b = suite.operands(name)
-        program = self._program(name, preprocess_variant, config)
-        sim = GammaSimulator(config, multi_pe_scheduling=multi_pe,
-                             keep_output=False)
-        result = sim.run(a, b, program=program)
-        diskcache.store(disk_key, {
-            "cycles": result.cycles,
-            "traffic_bytes": result.traffic_bytes,
-            "compulsory_bytes": result.compulsory_bytes,
-            "flops": result.flops,
-            "pe_busy_cycles": result.pe_busy_cycles,
-            "num_tasks": result.num_tasks,
-            "num_partial_fibers": result.num_partial_fibers,
-            "cache_utilization": result.cache_utilization,
-        })
-        return result
-
-    def _program(
-        self, name: str, variant: str, config: GammaConfig
-    ) -> Optional[WorkProgram]:
-        options = preprocess_options(variant)
-        if options is None:
-            return None
-        key = (name, variant, config.fibercache_bytes, config.radix)
-        if key not in self._program_cache:
-            self._program_cache[key] = self._program_uncached(
-                name, variant, config, options)
-        return self._program_cache[key]
-
-    def _program_uncached(self, name, variant, config, options):
-        from repro.experiments import diskcache
-        import numpy as np
-        from repro.core.scheduler import WorkItem
-
-        disk_key = diskcache.cache_key(
-            "program", name=name, variant=variant,
-            cache_bytes=config.fibercache_bytes, radix=config.radix,
-        )
-        cached = diskcache.load(disk_key)
-        if cached is not None:
-            items = [
-                WorkItem(
-                    row=row, part=part, num_parts=num_parts,
-                    coords=np.asarray(coords, dtype=np.int64),
-                    values=np.asarray(values, dtype=np.float64),
-                )
-                for row, part, num_parts, coords, values
-                in cached["items"]
-            ]
-            return WorkProgram(items, cached["num_rows"],
-                               cached["num_cols"])
-        a, b = suite.operands(name)
-        program = preprocess(a, b, config, options)
-        diskcache.store(disk_key, {
-            "items": [
-                [item.row, item.part, item.num_parts,
-                 item.coords.tolist(), item.values.tolist()]
-                for item in program.items
-            ],
-            "num_rows": program.num_rows,
-            "num_cols": program.num_cols,
-        })
-        return program
-
-    # -- output size (needed by the traffic models) -----------------------
+    # -- output size (needed by the traffic models) ---------------------
     def c_nnz(self, name: str) -> int:
-        if name not in self._c_nnz_cache:
-            self.gamma(name)
-        return self._c_nnz_cache[name]
+        return self.gamma(name).c_nnz
 
     def compulsory(self, name: str) -> Dict[str, int]:
         a, b = suite.operands(name)
@@ -209,26 +94,14 @@ class ExperimentRunner:
     def compulsory_total(self, name: str) -> int:
         return sum(self.compulsory(name).values())
 
-    # -- baselines --------------------------------------------------------
-    def baseline(self, model: str, name: str) -> BaselineResult:
+    # -- baselines ------------------------------------------------------
+    def baseline(self, model: str, name: str) -> RunRecord:
         """Run a named baseline model on a suite matrix (cached)."""
-        key = (model, name)
-        if key not in self._baseline_cache:
-            a, b = suite.operands(name)
-            c_nnz = self.c_nnz(name)
-            config = scaled_gamma_config()
-            if model == "outerspace":
-                result = run_outerspace_model(a, b, config, c_nnz)
-            elif model == "sparch":
-                result = run_sparch_model(a, b, config, c_nnz)
-            elif model == "ip":
-                result = run_inner_product_model(a, b, config, c_nnz)
-            elif model == "mkl":
-                result = run_mkl_model(a, b, scaled_cpu_config(), c_nnz)
-            else:
-                raise ValueError(f"unknown baseline model {model!r}")
-            self._baseline_cache[key] = result
-        return self._baseline_cache[key]
+        if model == "gamma" or model not in available_models():
+            raise ValueError(
+                f"unknown baseline model {model!r}; known: "
+                f"{[m for m in available_models() if m != 'gamma']}")
+        return self.run_point(SweepPoint(model, name, ""))
 
     def speedup_over_mkl(self, name: str, runtime_seconds: float) -> float:
         mkl = self.baseline("mkl", name)

@@ -20,7 +20,7 @@ from repro.matrices.csr import CsrMatrix
 
 
 #: Bump when generator behaviour changes; invalidates cached simulations.
-GENERATOR_VERSION = 2
+GENERATOR_VERSION = 3
 
 
 def _rng(seed: int) -> np.random.Generator:

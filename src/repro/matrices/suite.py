@@ -14,6 +14,7 @@ scale-invariant.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -86,6 +87,16 @@ class MatrixSpec:
         raise ValueError(f"unknown matrix family {self.family!r}")
 
 
+def _name_seed(name: str) -> int:
+    """Stable per-matrix seed.
+
+    ``hash(str)`` is salted per interpreter process, which would make the
+    suite differ between processes — torpedoing both the disk cache and
+    parallel-vs-serial sweep determinism. CRC32 is stable everywhere.
+    """
+    return zlib.crc32(name.encode()) % (2**31)
+
+
 def _sq(name, family, paper_rows, paper_npr, rows, npr=None, seed=None,
         npr_scaled=False, **gen_kwargs) -> MatrixSpec:
     """Spec helper for square matrices."""
@@ -94,7 +105,7 @@ def _sq(name, family, paper_rows, paper_npr, rows, npr=None, seed=None,
         name=name, family=family, paper_rows=paper_rows,
         paper_cols=paper_rows, paper_npr=paper_npr,
         rows=rows, cols=rows, npr=npr, square=True,
-        seed=abs(hash(name)) % (2**31) if seed is None else seed,
+        seed=_name_seed(name) if seed is None else seed,
         gen_kwargs=gen_kwargs, npr_scaled=npr_scaled or npr != paper_npr,
     )
 
@@ -107,7 +118,7 @@ def _rect(name, family, paper_rows, paper_cols, paper_npr, rows, cols,
         name=name, family=family, paper_rows=paper_rows,
         paper_cols=paper_cols, paper_npr=paper_npr,
         rows=rows, cols=cols, npr=npr, square=False,
-        seed=abs(hash(name)) % (2**31) if seed is None else seed,
+        seed=_name_seed(name) if seed is None else seed,
         gen_kwargs=gen_kwargs, npr_scaled=npr != paper_npr,
     )
 

@@ -39,3 +39,24 @@ class TestExportCommand:
         out = capsys.readouterr().out
         assert "table1.txt" in out
         assert (tmp_path / "table1.json").exists()
+
+
+class TestSweepCommand:
+    def test_dry_run_plans_without_running(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--matrices", "wiki-Vote",
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "6 points planned" in out
+        assert "gamma:wiki-Vote:none" in out
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_serial_sweep_populates_cache(self, tmp_path, monkeypatch,
+                                          capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--matrices", "wiki-Vote", "--models",
+                     "gamma", "--variants", "none", "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep complete" in out
+        assert list(tmp_path.glob("*.json"))
