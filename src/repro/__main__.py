@@ -9,6 +9,8 @@ Usage::
     python -m repro export out/ fig12    # write .txt/.csv/.json artifacts
     python -m repro sweep                # pre-warm the disk cache in parallel
     python -m repro sweep --set common --models gamma,mkl --workers 8
+    python -m repro profile gamma wiki-Vote            # cycle-level report
+    python -m repro profile gamma gupta2 --variant full --trace out.jsonl
 """
 
 from __future__ import annotations
@@ -100,20 +102,51 @@ def _cmd_sweep(args) -> int:
         return 0
     done = {"count": 0}
 
-    def progress(point, record):
-        done["count"] += 1
+    def label_of(point):
         label = f"{point.model}:{point.matrix}"
         if point.model == "gamma":
             label += f":{point.variant}"
-        print(f"[{done['count']}/{len(points)}] {label}  "
+        return label
+
+    def progress(point, record):
+        done["count"] += 1
+        print(f"[{done['count']}/{len(points)}] {label_of(point)}  "
               f"cycles={record.cycles:.0f}")
 
+    def executed(point, record, wall_seconds):
+        print(f"  computed {label_of(point)}  "
+              f"wall={wall_seconds:.2f}s  events={record.num_tasks}")
+
     run_sweep(points, workers=args.workers, serial=args.serial,
-              on_result=progress)
+              on_result=progress, on_executed=executed)
     from repro.engine import diskcache
     store = ("the disk cache" if diskcache.cache_enabled()
              else "memory only (disk cache disabled)")
     print(f"sweep complete: {len(points)} records in {store}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.matrices import suite
+    from repro.obs import profile_point, render_report
+
+    try:
+        suite.spec_by_name(args.matrix)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        run = profile_point(args.matrix, model=args.model,
+                            variant=args.variant)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(run.record, run.trace, run.wall_seconds))
+    if args.trace:
+        lines = run.trace.to_jsonl(
+            args.trace, model=args.model, matrix=args.matrix,
+            variant=args.variant)
+        print(f"wrote {lines} trace lines to {args.trace}")
     return 0
 
 
@@ -168,6 +201,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_parser.add_argument(
         "--dry-run", action="store_true",
         help="plan and report, but run nothing")
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one point instrumented and print the cycle-level report")
+    profile_parser.add_argument(
+        "model", help="registry model (metrics: gamma only)")
+    profile_parser.add_argument("matrix", help="suite matrix name")
+    profile_parser.add_argument(
+        "--variant", default="none",
+        help="Gamma preprocessing variant (default: none)")
+    profile_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also export the task event stream as JSONL")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -180,6 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_suite()
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

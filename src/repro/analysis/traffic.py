@@ -31,6 +31,52 @@ def compulsory_traffic(a: CsrMatrix, b: CsrMatrix,
     }
 
 
+def stream_breakdown_from_metrics(metrics) -> Dict[str, int]:
+    """Per-stream DRAM bytes recorded by the observability layer.
+
+    Args:
+        metrics: A :class:`~repro.obs.MetricsRegistry` or a serialized
+            metrics blob (e.g. ``RunRecord.metrics``) from an
+            instrumented run.
+
+    Returns:
+        Bytes by stream (A / B / C / partial_read / partial_write),
+        measured request by request rather than re-derived from
+        aggregates.
+    """
+    from repro.obs.metrics import as_registry
+
+    registry = as_registry(metrics)
+    if registry is None:
+        raise ValueError("no metrics attached to this run")
+    return {
+        stream: int(count)
+        for stream, count in
+        registry.counters_with_prefix("dram/bytes/").items()
+    }
+
+
+def check_traffic_conservation(metrics, total_bytes: int) -> Dict[str, int]:
+    """Assert the metered per-stream bytes sum to the aggregate total.
+
+    The observability layer counts every DRAM request as it is issued;
+    this cross-checks those counters against the simulator's own
+    end-of-run aggregate (``SimulationResult.total_traffic``). Returns
+    the breakdown on success.
+
+    Raises:
+        ValueError: When the sums disagree (an instrumentation bug).
+    """
+    breakdown = stream_breakdown_from_metrics(metrics)
+    metered = sum(breakdown.values())
+    if metered != total_bytes:
+        raise ValueError(
+            f"metered DRAM bytes {metered} != aggregate traffic "
+            f"{total_bytes} (breakdown: {breakdown})"
+        )
+    return breakdown
+
+
 def normalize_breakdown(traffic: Dict[str, int],
                         compulsory: Dict[str, int]) -> Dict[str, float]:
     """Per-category traffic over total compulsory bytes (figure y-axes)."""

@@ -111,6 +111,43 @@ def spgemm_hash(a: CsrMatrix, b: CsrMatrix) -> tuple:
                            touched_b_rows=touched)
 
 
+def spgemm_semiring(a: CsrMatrix, b: CsrMatrix, semiring) -> CsrMatrix:
+    """Gustavson SpGEMM over an arbitrary semiring (differential oracle).
+
+    A direct dict-accumulator transliteration of C_ij = add_k
+    mul(a_ik, b_kj) with no vectorization or reassociation tricks, used
+    as ground truth for the accelerator simulator under non-arithmetic
+    algebras. Every touched output coordinate is kept, even when the
+    accumulated value lands on the semiring's zero — matching the
+    hardware accumulator, which never re-sparsifies (Sec. 3.2).
+    """
+    if a.num_cols != b.num_rows:
+        raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    add, mul = semiring.add, semiring.mul
+    rows: List[Fiber] = []
+    for row in range(a.num_rows):
+        start, end = a.offsets[row], a.offsets[row + 1]
+        accumulator: Dict[int, float] = {}
+        for idx in range(start, end):
+            k = int(a.coords[idx])
+            scale = a.values[idx]
+            for j in range(b.offsets[k], b.offsets[k + 1]):
+                col = int(b.coords[j])
+                product = mul(scale, b.values[j])
+                if col in accumulator:
+                    accumulator[col] = add(accumulator[col], product)
+                else:
+                    accumulator[col] = product
+        cols = np.asarray(sorted(accumulator), dtype=np.int64)
+        rows.append(Fiber(
+            cols,
+            np.asarray([accumulator[int(c)] for c in cols],
+                       dtype=np.float64),
+            check=False,
+        ))
+    return CsrMatrix.from_rows(rows, b.num_cols)
+
+
 def output_nnz_upper_bound(a: CsrMatrix, b: CsrMatrix) -> int:
     """Sum of products bound on nnz(C) (the Sec. 3.4 conservative size)."""
     if a.nnz == 0:

@@ -59,14 +59,19 @@ class MemoryInterface:
     Args:
         bytes_per_cycle: Aggregate bandwidth (128 GB/s at 1 GHz -> 128 B/cyc).
         latency_cycles: Access latency added to the first byte of a request.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; when set,
+            every transfer publishes a per-stream byte counter
+            (``dram/bytes/<category>``) and a time-series sample
+            (``dram/stream/<category>``).
     """
 
     def __init__(self, bytes_per_cycle: float,
-                 latency_cycles: int = 80) -> None:
+                 latency_cycles: int = 80, metrics=None) -> None:
         if bytes_per_cycle <= 0:
             raise ValueError("bandwidth must be positive")
         self.bytes_per_cycle = bytes_per_cycle
         self.latency_cycles = latency_cycles
+        self.metrics = metrics
         self.traffic = TrafficCounter()
         self._busy_until = 0.0
         #: Idle intervals [start, end) earlier than _busy_until, available
@@ -88,6 +93,10 @@ class MemoryInterface:
         ahead of use, so only bandwidth limits progress (Sec. 3.2).
         """
         self.traffic.add(category, num_bytes)
+        if self.metrics is not None:
+            self.metrics.counter(f"dram/bytes/{category}").inc(num_bytes)
+            self.metrics.series(f"dram/stream/{category}").sample(
+                now, num_bytes)
         if num_bytes == 0:
             return max(now, min(self._busy_until, now))
         remaining = num_bytes / self.bytes_per_cycle
@@ -121,6 +130,8 @@ class MemoryInterface:
     def account(self, category: str, num_bytes: int) -> None:
         """Count traffic without timing (for pure traffic models)."""
         self.traffic.add(category, num_bytes)
+        if self.metrics is not None:
+            self.metrics.counter(f"dram/bytes/{category}").inc(num_bytes)
 
     @property
     def busy_until(self) -> float:

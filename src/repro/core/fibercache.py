@@ -94,6 +94,10 @@ class FiberCache:
         #: Accesses per bank (addr % banks): load balance across the
         #: banked structure that the 48x crossbars serve (Table 1).
         self.bank_accesses = [0] * config.fibercache_banks
+        #: Hit/miss split per bank (fetch/read/consume outcomes), the
+        #: per-bank hit-rate view the observability layer reports.
+        self.bank_hits = [0] * config.fibercache_banks
+        self.bank_misses = [0] * config.fibercache_banks
 
     # ------------------------------------------------------------------
     # Primitives
@@ -104,11 +108,13 @@ class FiberCache:
         Whether hit or miss, the line's priority counter is incremented so
         replacement will not victimize it before the matching ``read``.
         """
-        self.bank_accesses[addr % len(self.bank_accesses)] += 1
+        bank = addr % len(self.bank_accesses)
+        self.bank_accesses[bank] += 1
         line_set = self._sets[addr % self.num_sets]
         line = line_set.get(addr)
         if line is not None:
             self.stats.fetch_hits += 1
+            self.bank_hits[bank] += 1
             if line.priority < _PRIORITY_MAX:
                 line.priority += 1
             line.rrpv = 0
@@ -116,6 +122,7 @@ class FiberCache:
         if category not in self.miss_lines:
             raise ValueError(f"unknown line category {category!r}")
         self.stats.fetch_misses += 1
+        self.bank_misses[bank] += 1
         self.miss_lines[category] += 1
         line = self._install(addr, category)
         line.priority = 1
@@ -127,11 +134,13 @@ class FiberCache:
         A miss means the line was evicted between fetch and read (or was
         never fetched) and costs a DRAM access.
         """
-        self.bank_accesses[addr % len(self.bank_accesses)] += 1
+        bank = addr % len(self.bank_accesses)
+        self.bank_accesses[bank] += 1
         line_set = self._sets[addr % self.num_sets]
         line = line_set.get(addr)
         if line is not None:
             self.stats.read_hits += 1
+            self.bank_hits[bank] += 1
             if line.priority > 0:
                 line.priority -= 1
             line.rrpv = 0
@@ -139,6 +148,7 @@ class FiberCache:
         if category not in self.miss_lines:
             raise ValueError(f"unknown line category {category!r}")
         self.stats.read_misses += 1
+        self.bank_misses[bank] += 1
         self.miss_lines[category] += 1
         line = self._install(addr, category)
         line.priority = 0
@@ -168,13 +178,17 @@ class FiberCache:
         miss means the partial fiber was spilled and must be re-read from
         DRAM.
         """
+        bank = addr % len(self.bank_accesses)
+        self.bank_accesses[bank] += 1
         line_set = self._sets[addr % self.num_sets]
         line = line_set.pop(addr, None)
         if line is not None:
             self.stats.consume_hits += 1
+            self.bank_hits[bank] += 1
             self.occupancy[line.category] -= 1
             return False
         self.stats.consume_misses += 1
+        self.bank_misses[bank] += 1
         self.miss_lines["partial"] += 1
         return True
 
@@ -272,6 +286,36 @@ class FiberCache:
             return 1.0
         mean = total / len(self.bank_accesses)
         return max(self.bank_accesses) / mean
+
+    def bank_hit_rates(self) -> List[float]:
+        """Hit fraction per bank over fetch/read/consume outcomes.
+
+        Banks with no classified accesses report 1.0 (nothing missed).
+        """
+        rates = []
+        for hits, misses in zip(self.bank_hits, self.bank_misses):
+            total = hits + misses
+            rates.append(hits / total if total else 1.0)
+        return rates
+
+    def publish_metrics(self, metrics) -> None:
+        """Dump counters and per-bank tables into a MetricsRegistry."""
+        for name in ("fetch_hits", "fetch_misses", "read_hits",
+                     "read_misses", "writes", "consume_hits",
+                     "consume_misses", "dirty_evictions",
+                     "clean_evictions"):
+            metrics.counter(f"cache/{name}").inc(getattr(self.stats, name))
+        for category, lines in self.miss_lines.items():
+            metrics.counter(f"cache/miss_lines/{category}").inc(lines)
+        metrics.set_info("cache/bank_accesses", list(self.bank_accesses))
+        metrics.set_info("cache/bank_hits", list(self.bank_hits))
+        metrics.set_info("cache/bank_misses", list(self.bank_misses))
+        metrics.set_info("cache/bank_hit_rates", self.bank_hit_rates())
+        metrics.gauge("cache/bank_load_imbalance").set(
+            self.bank_load_imbalance())
+        average = self.average_utilization()
+        for category, fraction in average.items():
+            metrics.gauge(f"cache/utilization/{category}").set(fraction)
 
     def utilization(self) -> Dict[str, float]:
         """Instantaneous occupancy fractions by category."""

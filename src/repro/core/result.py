@@ -29,6 +29,9 @@ class SimulationResult:
         config: The simulated system.
         c_nnz: Nonzeros of the output matrix (known even when the output
             itself is discarded with ``keep_output=False``).
+        metrics: Serialized :class:`~repro.obs.MetricsRegistry` blob when
+            the run was instrumented (``GammaSimulator(metrics=...)``);
+            None otherwise. See :mod:`repro.obs`.
     """
 
     output: Optional[CsrMatrix]
@@ -42,6 +45,7 @@ class SimulationResult:
     cache_utilization: Dict[str, float]
     config: GammaConfig
     c_nnz: Optional[int] = None
+    metrics: Optional[Dict] = None
 
     @property
     def total_traffic(self) -> int:

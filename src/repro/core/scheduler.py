@@ -97,6 +97,9 @@ class Scheduler:
             ablation).
         max_outstanding_partials: Bound on live partial output fibers
             (the paper limits this to twice the PE count, Sec. 3.4).
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; when set,
+            every dispatch samples the ready-queue depth and the live
+            partial-fiber count (``sched/*`` histograms).
     """
 
     def __init__(
@@ -105,11 +108,13 @@ class Scheduler:
         radix: int,
         multi_pe: bool = True,
         max_outstanding_partials: int = 64,
+        metrics=None,
     ) -> None:
         self.program = program
         self.radix = radix
         self.multi_pe = multi_pe
         self.max_outstanding_partials = max_outstanding_partials
+        self.metrics = metrics
         self._item_cursor = 0
         self._order_counter = itertools.count()
         self._ready: List[Tuple[Tuple[int, int, int], Task]] = []
@@ -235,6 +240,12 @@ class Scheduler:
             task = heapq.heappop(self._ready)[1]
             if not task.is_final:
                 self.outstanding_partials += 1
+            if self.metrics is not None:
+                self.metrics.histogram("sched/ready_depth").observe(
+                    len(self._ready))
+                self.metrics.histogram(
+                    "sched/outstanding_partials").observe(
+                    self.outstanding_partials)
             return task
         return None
 

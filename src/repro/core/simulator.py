@@ -43,6 +43,11 @@ class GammaSimulator:
             boolean or tropical semirings (see :mod:`repro.semiring`).
         trace: Optional :class:`~repro.core.trace.ExecutionTrace` that
             records one event per executed task.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; when set,
+            the simulator, FiberCache, scheduler, and memory interface
+            publish cycle-level measurements into it (phase accounting,
+            per-bank hit rates, PE busy/idle, DRAM stream time series).
+            ``None`` (the default) collects nothing and costs nothing.
     """
 
     def __init__(
@@ -52,12 +57,14 @@ class GammaSimulator:
         keep_output: bool = True,
         semiring=None,
         trace=None,
+        metrics=None,
     ) -> None:
         self.config = config or GammaConfig()
         self.multi_pe_scheduling = multi_pe_scheduling
         self.keep_output = keep_output
         self.semiring = semiring
         self.trace = trace
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def run(
@@ -86,7 +93,7 @@ class GammaSimulator:
             program = WorkProgram.from_matrix(a)
         state = _RunState(self.config, a, b, program,
                           self.multi_pe_scheduling, self.semiring,
-                          self.trace)
+                          self.trace, self.metrics)
         state.execute()
         return state.result(self.keep_output)
 
@@ -103,23 +110,27 @@ class _RunState:
         multi_pe: bool,
         semiring=None,
         trace=None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.semiring = semiring
         self.trace = trace
+        self.metrics = metrics
         self.a = a
         self.b = b
         self.program = program
         self.multi_pe = multi_pe
         self.cache = FiberCache(config)
         self.memory = MemoryInterface(
-            config.bytes_per_cycle, config.memory_latency_cycles
+            config.bytes_per_cycle, config.memory_latency_cycles,
+            metrics=metrics,
         )
         self.scheduler = Scheduler(
             program,
             radix=config.radix,
             multi_pe=multi_pe,
             max_outstanding_partials=2 * config.num_pes,
+            metrics=metrics,
         )
         self.pe_model = ProcessingElement(config.radix)
         # PE availability: heap of (free_time, pe_id).
@@ -129,6 +140,7 @@ class _RunState:
         heapq.heapify(self.pe_free)
         self.row_pe: Dict[int, int] = {}
         self.pe_free_times: List[float] = [0.0] * config.num_pes
+        self.pe_busy_cycles: List[float] = [0.0] * config.num_pes
         self.finish_time: Dict[int, float] = {}
         self.partial_fibers: Dict[int, Fiber] = {}
         self.partial_lines: Dict[int, Tuple[int, int]] = {}
@@ -209,6 +221,8 @@ class _RunState:
             self.memory.busy_until,
             bandwidth_floor,
         )
+        if self.metrics is not None:
+            self._publish_run_metrics(bandwidth_floor)
 
     def _pick_pe(self, task: Task) -> int:
         if self.multi_pe:
@@ -282,6 +296,7 @@ class _RunState:
         compute_finish = start + pe_result.cycles
         finish = max(compute_finish, data_ready)
         self.pe_busy += pe_result.cycles
+        self.pe_busy_cycles[pe] += pe_result.cycles
 
         # --- emit output ----------------------------------------------------
         output = pe_result.output
@@ -306,6 +321,10 @@ class _RunState:
             heapq.heappush(self.pe_free, (finish, pe))
         self.finish_time[task.task_id] = finish
         self.cache.sample_utilization(weight=pe_result.cycles)
+        if self.metrics is not None:
+            self._publish_task_metrics(
+                task, pe_result, finish, compute_finish, data_ready,
+                b_miss_lines, partial_miss_lines)
         if self.trace is not None:
             from repro.core.trace import TaskEvent
 
@@ -322,6 +341,71 @@ class _RunState:
                 partial_miss_lines=partial_miss_lines,
             ))
         return finish
+
+    # -- observability ----------------------------------------------------
+    def _publish_task_metrics(
+        self, task: Task, pe_result, finish: float,
+        compute_finish: float, data_ready: float,
+        b_miss_lines: int, partial_miss_lines: int,
+    ) -> None:
+        """Per-task publishing: phase cycles, distributions, timelines."""
+        metrics = self.metrics
+        # Phase accounting: the task's PE occupancy splits into pure
+        # compute and the memory-bound tail spent waiting for data.
+        metrics.counter("cycles/compute").inc(pe_result.cycles)
+        metrics.counter("cycles/memory_stall").inc(
+            max(0.0, data_ready - compute_finish))
+        metrics.counter("tasks/dispatched").inc()
+        if task.is_final:
+            metrics.counter("tasks/final").inc()
+        else:
+            metrics.counter("tasks/partial_outputs").inc()
+        metrics.histogram("task/level").observe(task.level)
+        metrics.histogram("task/inputs").observe(task.num_inputs)
+        metrics.histogram("task/busy_cycles").observe(pe_result.cycles)
+        miss_bytes = (b_miss_lines + partial_miss_lines) * LINE_BYTES
+        metrics.series("timeline/busy").sample(finish, pe_result.cycles)
+        metrics.series("timeline/miss_bytes").sample(finish, miss_bytes)
+        occupancy = self.cache.utilization()
+        metrics.series("timeline/occupancy_B").sample(
+            finish, occupancy["B"])
+        metrics.series("timeline/occupancy_partial").sample(
+            finish, occupancy["partial"])
+
+    def _publish_run_metrics(self, bandwidth_floor: float) -> None:
+        """End-of-run publishing: PE busy/idle split, cache, bounds."""
+        metrics = self.metrics
+        metrics.gauge("run/cycles").set(self.now)
+        metrics.gauge("run/pe_makespan_cycles").set(
+            max(self.pe_free_times, default=0.0))
+        metrics.gauge("run/memory_busy_cycles").set(self.memory.busy_until)
+        metrics.gauge("run/bandwidth_floor_cycles").set(bandwidth_floor)
+        metrics.gauge("run/flops").set(self.flops)
+        metrics.set_info(
+            "run/bound",
+            "memory" if bandwidth_floor >= max(
+                self.pe_free_times, default=0.0) else "compute",
+        )
+        metrics.set_info("system", {
+            "num_pes": self.config.num_pes,
+            "radix": self.config.radix,
+            "frequency_hz": self.config.frequency_hz,
+            "bytes_per_cycle": self.config.bytes_per_cycle,
+            "fibercache_bytes": self.config.fibercache_bytes,
+            "fibercache_banks": self.config.fibercache_banks,
+        })
+        for pe, busy in enumerate(self.pe_busy_cycles):
+            idle = self.now - busy
+            metrics.series("pe/busy").sample(pe, busy)
+            metrics.series("pe/idle").sample(pe, idle)
+            metrics.histogram("pe/busy_cycles").observe(busy)
+            metrics.counter("cycles/pe_busy_total").inc(busy)
+            metrics.counter("cycles/pe_idle_total").inc(idle)
+        metrics.counter("sched/tasks_created").inc(
+            self.scheduler.tasks_created)
+        metrics.counter("sched/items_consumed").inc(
+            self.scheduler.items_consumed)
+        self.cache.publish_metrics(metrics)
 
     # -- A-side streaming traffic ----------------------------------------
     def _account_a_traffic(self) -> None:
@@ -360,6 +444,8 @@ class _RunState:
             cache_utilization=self.cache.average_utilization(),
             config=self.config,
             c_nnz=self.c_nnz(),
+            metrics=(self.metrics.to_blob()
+                     if self.metrics is not None else None),
         )
 
 

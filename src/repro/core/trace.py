@@ -128,6 +128,17 @@ class ExecutionTrace:
         return sorted(self.events, key=lambda e: e.busy_cycles,
                       reverse=True)[:count]
 
+    def to_jsonl(self, destination, **header_extras) -> int:
+        """Export as a schema-versioned JSON-lines event stream.
+
+        One header record followed by one ``task`` record per event; see
+        :mod:`repro.obs.events` for the schema and the reader/validator.
+        Returns the number of lines written.
+        """
+        from repro.obs.events import write_jsonl
+
+        return write_jsonl(self, destination, **header_extras)
+
     def to_rows(self) -> List[Tuple]:
         """Flatten to tuples for CSV export."""
         return [

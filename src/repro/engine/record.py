@@ -77,6 +77,9 @@ class RunRecord:
             baselines).
         config: The simulated system (GammaConfig, or CpuConfig for MKL).
         multi_pe: Whether Gamma used multi-PE-per-row scheduling.
+        metrics: Serialized :class:`~repro.obs.MetricsRegistry` blob when
+            the run was instrumented; None otherwise (the default —
+            sweeps never collect metrics, so cached records stay small).
     """
 
     model: str
@@ -94,6 +97,7 @@ class RunRecord:
     cache_utilization: Dict[str, float] = field(default_factory=dict)
     config: Union[GammaConfig, CpuConfig, None] = None
     multi_pe: bool = True
+    metrics: Optional[Dict[str, Any]] = None
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -120,6 +124,7 @@ class RunRecord:
             cache_utilization=dict(result.cache_utilization),
             config=result.config,
             multi_pe=multi_pe,
+            metrics=getattr(result, "metrics", None),
         )
 
     @classmethod

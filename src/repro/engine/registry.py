@@ -84,12 +84,21 @@ def default_config_for(model: str) -> Union[GammaConfig, CpuConfig]:
 # ----------------------------------------------------------------------
 @register_model("gamma")
 class GammaModel:
-    """The cycle-level Gamma simulator behind the registry interface."""
+    """The cycle-level Gamma simulator behind the registry interface.
+
+    ``collect_metrics=True`` attaches a fresh
+    :class:`~repro.obs.MetricsRegistry` to the simulator and serializes
+    it onto ``RunRecord.metrics`` (the ``repro profile`` path); ``trace``
+    optionally captures the per-task event stream. Both are off by
+    default so sweeps pay no instrumentation cost.
+    """
 
     def run(self, a: CsrMatrix, b: CsrMatrix,
             config: Optional[GammaConfig] = None, *,
             matrix: str = "", variant: str = "none",
-            multi_pe: bool = True, program=None, **_ignored) -> RunRecord:
+            multi_pe: bool = True, program=None,
+            collect_metrics: bool = False, trace=None,
+            **_ignored) -> RunRecord:
         from repro.core import GammaSimulator
         from repro.preprocessing import preprocess
 
@@ -98,8 +107,13 @@ class GammaModel:
             options = preprocess_options(variant)
             if options is not None:
                 program = preprocess(a, b, config, options)
+        metrics = None
+        if collect_metrics:
+            from repro.obs import MetricsRegistry
+            metrics = MetricsRegistry()
         sim = GammaSimulator(config, multi_pe_scheduling=multi_pe,
-                             keep_output=False)
+                             keep_output=False, trace=trace,
+                             metrics=metrics)
         result = sim.run(a, b, program=program)
         return RunRecord.from_simulation(
             result, matrix=matrix, variant=variant, multi_pe=multi_pe)

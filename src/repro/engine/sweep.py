@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
@@ -162,8 +163,15 @@ def execute_point(point: SweepPoint) -> RunRecord:
 
 
 def _execute_point_payload(point: SweepPoint) -> dict:
-    """Worker entry point (top-level so it pickles)."""
-    return execute_point(point).to_payload()
+    """Worker entry point (top-level so it pickles).
+
+    Returns the record payload plus the wall-clock seconds the point
+    took in the worker, so the parent can surface per-point progress.
+    """
+    start = time.perf_counter()
+    payload = execute_point(point).to_payload()
+    return {"payload": payload,
+            "wall_seconds": time.perf_counter() - start}
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +234,8 @@ def run_sweep(
     workers: Optional[int] = None,
     serial: bool = False,
     on_result: Optional[Callable[[SweepPoint, RunRecord], None]] = None,
+    on_executed: Optional[
+        Callable[[SweepPoint, RunRecord, float], None]] = None,
 ) -> Dict[SweepPoint, RunRecord]:
     """Execute a sweep, parallelizing cache misses across processes.
 
@@ -240,6 +250,10 @@ def run_sweep(
         serial: Run misses in this process instead — same results,
             useful for determinism checks and debugging.
         on_result: Called in the parent as each point completes.
+        on_executed: Called in the parent for each point actually
+            *computed* (a cache miss) with its wall-clock seconds —
+            cached loads do not fire it. Prerequisite Gamma runs that
+            were not themselves planned fire it too.
 
     Returns:
         Every planned point mapped to its record, serial or parallel
@@ -254,6 +268,7 @@ def run_sweep(
             on_result(point, record)
 
     pending = pending_points(ordered)
+    pending_set = set(pending)
     prerequisites = list(dict.fromkeys(
         SweepPoint("gamma", p.matrix)
         for p in pending if p.model != "gamma"
@@ -263,15 +278,28 @@ def run_sweep(
     if use_processes:
         max_workers = workers or os.cpu_count() or 1
         for batch in (pending_points(prerequisites), pending):
-            _run_batch_parallel(batch, max_workers)
+            _run_batch_parallel(batch, max_workers, on_executed)
+        pending_set = set()  # workers computed (and notified) them all
     # Serial mode (and the no-disk-cache fallback, where processes cannot
     # share results) computes misses right here, in plan order.
     for point in ordered:
-        finish(point, execute_point(point))
+        if point in pending_set:
+            start = time.perf_counter()
+            record = execute_point(point)
+            if on_executed is not None:
+                on_executed(point, record, time.perf_counter() - start)
+        else:
+            record = execute_point(point)
+        finish(point, record)
     return results
 
 
-def _run_batch_parallel(batch: Sequence[SweepPoint], workers: int) -> None:
+def _run_batch_parallel(
+    batch: Sequence[SweepPoint],
+    workers: int,
+    on_executed: Optional[
+        Callable[[SweepPoint, RunRecord, float], None]] = None,
+) -> None:
     if not batch:
         return
     with ProcessPoolExecutor(max_workers=min(workers, len(batch))) as pool:
@@ -281,4 +309,10 @@ def _run_batch_parallel(batch: Sequence[SweepPoint], workers: int) -> None:
         while not_done:
             done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
             for future in done:
-                future.result()  # surface worker exceptions eagerly
+                outcome = future.result()  # surface worker exceptions
+                if on_executed is not None:
+                    on_executed(
+                        futures[future],
+                        RunRecord.from_payload(outcome["payload"]),
+                        outcome["wall_seconds"],
+                    )

@@ -1,0 +1,51 @@
+"""Cycle-level observability: metrics, structured traces, profiling.
+
+The simulator components accept an optional
+:class:`~repro.obs.metrics.MetricsRegistry` and publish counters,
+gauges, histograms, and bounded time series into it at fiber/line
+granularity; :mod:`repro.obs.events` gives
+:class:`~repro.core.trace.ExecutionTrace` a schema-versioned JSONL form;
+:mod:`repro.obs.profile` runs one instrumented point and renders the
+``repro profile`` report. Everything here is opt-in — an uninstrumented
+run touches none of it.
+"""
+
+from repro.obs.events import (
+    TASK_EVENT_FIELDS,
+    TRACE_SCHEMA_VERSION,
+    event_schema,
+    read_jsonl,
+    validate_file,
+    validate_lines,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    as_registry,
+)
+from repro.obs.profile import ProfileRun, profile_point, render_report
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "TASK_EVENT_FIELDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "ProfileRun",
+    "as_registry",
+    "event_schema",
+    "profile_point",
+    "read_jsonl",
+    "render_report",
+    "validate_file",
+    "validate_lines",
+    "write_jsonl",
+]

@@ -1,0 +1,187 @@
+"""Structured, schema-versioned execution event stream (JSON-lines).
+
+:class:`~repro.core.trace.ExecutionTrace` records one
+:class:`~repro.core.trace.TaskEvent` per executed task; this module gives
+that stream a stable on-disk form: a header record describing the run
+followed by one ``task`` record per event, one JSON object per line.
+External tooling (or a later session) can consume the file without
+importing the simulator, and the schema is explicit and versioned so a
+golden-file test catches accidental drift.
+
+Line format::
+
+    {"type": "header", "schema": 1, "num_events": N, ...extras}
+    {"type": "task", "task_id": 0, "row": 3, ...}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Union
+
+from repro.core.trace import ExecutionTrace, TaskEvent
+
+#: Bump whenever a field is added/removed/retyped in the exported events.
+TRACE_SCHEMA_VERSION = 1
+
+#: Field name -> JSON type of one exported ``task`` record.
+TASK_EVENT_FIELDS: Dict[str, str] = {
+    "task_id": "integer",
+    "row": "integer",
+    "level": "integer",
+    "is_final": "boolean",
+    "pe": "integer",
+    "start": "number",
+    "finish": "number",
+    "busy_cycles": "number",
+    "b_miss_lines": "integer",
+    "partial_miss_lines": "integer",
+}
+
+_JSON_TYPE_CHECKS = {
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "string": lambda v: isinstance(v, str),
+}
+
+
+def event_schema() -> Dict[str, Any]:
+    """The exported event schema as a JSON-compatible description."""
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "header": {
+            "type": "string",
+            "schema": "integer",
+            "num_events": "integer",
+        },
+        "task": {"type": "string", **TASK_EVENT_FIELDS},
+    }
+
+
+def _check_fields_cover_task_event() -> None:
+    declared = set(TASK_EVENT_FIELDS)
+    actual = {f.name for f in dataclasses.fields(TaskEvent)}
+    if declared != actual:
+        raise AssertionError(
+            f"TASK_EVENT_FIELDS out of sync with TaskEvent: "
+            f"missing {actual - declared}, stale {declared - actual}"
+        )
+
+
+def task_event_payload(event: TaskEvent) -> Dict[str, Any]:
+    """One event as the JSON object written to the stream."""
+    return {
+        "type": "task",
+        "task_id": event.task_id,
+        "row": event.row,
+        "level": event.level,
+        "is_final": event.is_final,
+        "pe": event.pe,
+        "start": event.start,
+        "finish": event.finish,
+        "busy_cycles": event.busy_cycles,
+        "b_miss_lines": event.b_miss_lines,
+        "partial_miss_lines": event.partial_miss_lines,
+    }
+
+
+def write_jsonl(
+    trace: ExecutionTrace,
+    destination: Union[str, Path, IO[str]],
+    **header_extras: Any,
+) -> int:
+    """Export a trace as JSON-lines; returns the number of lines written.
+
+    ``header_extras`` (matrix name, model, config digest, ...) are merged
+    into the header record; they must be JSON-serializable.
+    """
+    _check_fields_cover_task_event()
+    header = {
+        "type": "header",
+        "schema": TRACE_SCHEMA_VERSION,
+        "num_events": trace.num_events,
+        **header_extras,
+    }
+    lines = [json.dumps(header)]
+    lines.extend(
+        json.dumps(task_event_payload(e)) for e in trace.events
+    )
+    text = "\n".join(lines) + "\n"
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        Path(destination).write_text(text)
+    return len(lines)
+
+
+def validate_lines(lines: Iterable[str]) -> int:
+    """Validate a JSONL export against the schema; returns the event count.
+
+    Raises:
+        ValueError: On a missing/invalid header, an unknown record type,
+            a missing field, a mistyped field, or an event-count mismatch.
+    """
+    count = 0
+    header = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if lineno == 1:
+            if record.get("type") != "header":
+                raise ValueError("first line must be the header record")
+            if record.get("schema") != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported trace schema {record.get('schema')!r}"
+                )
+            if not isinstance(record.get("num_events"), int):
+                raise ValueError("header lacks an integer num_events")
+            header = record
+            continue
+        if record.get("type") != "task":
+            raise ValueError(
+                f"line {lineno}: unknown record type {record.get('type')!r}"
+            )
+        for field, json_type in TASK_EVENT_FIELDS.items():
+            if field not in record:
+                raise ValueError(f"line {lineno}: missing field {field!r}")
+            if not _JSON_TYPE_CHECKS[json_type](record[field]):
+                raise ValueError(
+                    f"line {lineno}: field {field!r} is not a {json_type}"
+                )
+        count += 1
+    if header is None:
+        raise ValueError("empty trace export (no header)")
+    if header["num_events"] != count:
+        raise ValueError(
+            f"header says {header['num_events']} events, found {count}"
+        )
+    return count
+
+
+def validate_file(path: Union[str, Path]) -> int:
+    """Validate a JSONL export on disk; returns the event count."""
+    return validate_lines(Path(path).read_text().splitlines())
+
+
+def read_jsonl(path: Union[str, Path]) -> ExecutionTrace:
+    """Load a JSONL export back into an :class:`ExecutionTrace`."""
+    trace = ExecutionTrace()
+    events: List[TaskEvent] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") != "task":
+            continue
+        events.append(TaskEvent(**{
+            field: record[field] for field in TASK_EVENT_FIELDS
+        }))
+    trace.events = events
+    return trace

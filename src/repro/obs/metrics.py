@@ -1,0 +1,254 @@
+"""MetricsRegistry: the simulator's cycle-level instrumentation store.
+
+The paper's evaluation (Secs. 6.2-6.5) is built on component-level
+accounting — memory traffic split by stream, FiberCache hit rates, PE
+utilization, phase behaviour over time — so the simulator components
+publish into a shared registry at fiber/line granularity:
+
+* :class:`Counter` — monotonic totals (DRAM bytes per stream, compute
+  cycles, dispatched tasks).
+* :class:`Gauge` — last-value-wins scalars (final occupancy, makespan).
+* :class:`Histogram` — distributions with power-of-two buckets (PE busy
+  cycles, task-tree levels, ready-queue depth).
+* :class:`TimeSeries` — bounded (x, y) samplers with automatic stride
+  doubling (phase timelines, per-PE busy tables).
+
+The registry serializes to a JSON-compatible *blob* (``to_blob`` /
+``from_blob``) so a :class:`~repro.engine.record.RunRecord` can carry the
+full measurement set through the disk cache and across sweep workers.
+Collection is strictly opt-in: components take ``metrics=None`` and skip
+every publish when no registry is attached, so sweeps pay nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bump when the blob layout changes (checked by ``from_blob``).
+METRICS_SCHEMA_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution summary with power-of-two buckets.
+
+    Bucket ``e`` counts observations in ``[2**e, 2**(e+1))``; values
+    ``<= 0`` land in the dedicated ``"neg"``/``"zero"`` buckets. Exact
+    count/sum/min/max ride along, so means are not bucket-quantized.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[str, int] = {}
+
+    @staticmethod
+    def bucket_of(value: float) -> str:
+        if value < 0:
+            return "neg"
+        if value == 0:
+            return "zero"
+        return str(int(math.floor(math.log2(value))))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        key = self.bucket_of(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class TimeSeries:
+    """A bounded (x, y) sampler.
+
+    Appends are O(1); when the sample cap is hit, every other retained
+    sample is dropped and the keep-stride doubles, so long runs keep a
+    uniformly thinned view at fixed memory. Suitable both for literal
+    time series (x = cycle) and small indexed tables (x = PE id, bank id).
+    """
+
+    __slots__ = ("max_samples", "stride", "_skip", "xs", "ys")
+
+    def __init__(self, max_samples: int = 512) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.max_samples = max_samples
+        self.stride = 1
+        self._skip = 0
+        self.xs: List[float] = []
+        self.ys: List[float] = []
+
+    def sample(self, x: float, y: float) -> None:
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self.stride - 1
+        self.xs.append(x)
+        self.ys.append(y)
+        if len(self.xs) >= self.max_samples:
+            self.xs = self.xs[::2]
+            self.ys = self.ys[::2]
+            self.stride *= 2
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self.xs, self.ys))
+
+
+class MetricsRegistry:
+    """Named metrics, lazily created on first use.
+
+    Names are hierarchical slash-paths (``"dram/bytes/B"``,
+    ``"pe/busy"``); the registry does not interpret them beyond using
+    them as keys, but the profile report groups on prefixes.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._info: Dict[str, Any] = {}
+
+    # -- accessors (create on first use) --------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def series(self, name: str, max_samples: int = 512) -> TimeSeries:
+        metric = self._series.get(name)
+        if metric is None:
+            metric = self._series[name] = TimeSeries(max_samples)
+        return metric
+
+    def set_info(self, name: str, value: Any) -> None:
+        """Attach an arbitrary JSON-compatible value (tables, labels)."""
+        self._info[name] = value
+
+    def info(self, name: str, default: Any = None) -> Any:
+        return self._info.get(name, default)
+
+    # -- queries ---------------------------------------------------------
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Counter values whose name starts with ``prefix``, key-stripped."""
+        return {
+            name[len(prefix):]: c.value
+            for name, c in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- serialization ---------------------------------------------------
+    def to_blob(self) -> Dict[str, Any]:
+        """A JSON-compatible snapshot of every metric."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "buckets": dict(h.buckets),
+                }
+                for k, h in self._histograms.items()
+            },
+            "series": {
+                k: {"stride": s.stride, "x": list(s.xs), "y": list(s.ys)}
+                for k, s in self._series.items()
+            },
+            "info": dict(self._info),
+        }
+
+    @classmethod
+    def from_blob(cls, blob: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_blob` output."""
+        version = blob.get("schema")
+        if version != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"metrics blob schema {version!r} != "
+                f"{METRICS_SCHEMA_VERSION}"
+            )
+        registry = cls()
+        for name, value in blob.get("counters", {}).items():
+            registry.counter(name).value = value
+        for name, value in blob.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, payload in blob.get("histograms", {}).items():
+            hist = registry.histogram(name)
+            hist.count = payload["count"]
+            hist.total = payload["total"]
+            hist.min = payload["min"] if payload["min"] is not None \
+                else math.inf
+            hist.max = payload["max"] if payload["max"] is not None \
+                else -math.inf
+            hist.buckets = dict(payload["buckets"])
+        for name, payload in blob.get("series", {}).items():
+            series = registry.series(name)
+            series.stride = payload.get("stride", 1)
+            series.xs = list(payload["x"])
+            series.ys = list(payload["y"])
+        for name, value in blob.get("info", {}).items():
+            registry.set_info(name, value)
+        return registry
+
+
+def as_registry(
+    metrics: "MetricsRegistry | Dict[str, Any] | None",
+) -> Optional[MetricsRegistry]:
+    """Accept a registry, a serialized blob, or None (convenience)."""
+    if metrics is None or isinstance(metrics, MetricsRegistry):
+        return metrics
+    return MetricsRegistry.from_blob(metrics)

@@ -59,4 +59,56 @@ class TestSweepCommand:
                      "gamma", "--variants", "none", "--serial"]) == 0
         out = capsys.readouterr().out
         assert "sweep complete" in out
+        # Computed (non-cached) points report per-point wall clock and
+        # event counts.
+        assert "wall=" in out
+        assert "events=" in out
         assert list(tmp_path.glob("*.json"))
+
+    def test_cached_rerun_reports_no_computed_points(self, tmp_path,
+                                                     monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        args = ["sweep", "--matrices", "wiki-Vote", "--models", "gamma",
+                "--variants", "none", "--serial"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 cached, 0 to run" in out
+        assert "wall=" not in out
+
+
+class TestProfileCommand:
+    def test_profile_report_sections(self, capsys):
+        assert main(["profile", "gamma", "wiki-Vote"]) == 0
+        out = capsys.readouterr().out
+        assert "phase cycle accounting" in out
+        assert "compute cycles" in out
+        assert "memory-stall cycles" in out
+        assert "bank hit rates" in out
+        assert "per-PE utilization" in out
+        assert "DRAM stream breakdown" in out
+        assert "partial_write" in out
+
+    def test_profile_exports_valid_trace(self, tmp_path, capsys):
+        from repro.obs import validate_file
+
+        trace_path = tmp_path / "events.jsonl"
+        assert main(["profile", "gamma", "wiki-Vote",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace lines" in out
+        assert validate_file(trace_path) > 0
+
+    def test_profile_baseline_has_no_metrics(self, capsys):
+        assert main(["profile", "ip", "wiki-Vote"]) == 0
+        out = capsys.readouterr().out
+        assert "no metrics attached" in out
+
+    def test_profile_unknown_matrix(self, capsys):
+        assert main(["profile", "gamma", "no-such-matrix"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_unknown_model(self, capsys):
+        assert main(["profile", "nope", "wiki-Vote"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Randomized differential tests: the simulator vs reference SpGEMM.
+
+Fifty seeded random CSR pairs — varied density, empty rows, singleton
+rows and columns, rectangular shapes — multiplied on a deliberately tiny
+Gamma system (4 KB FiberCache, radix 4, so evictions, spills, and
+multi-level task trees all trigger) and checked against the software
+Gustavson kernels under the arithmetic, boolean, and tropical semirings.
+The first dozen seeds run everywhere; the rest ride the ``slow`` marker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spgemm_ref import (
+    spgemm_hash,
+    spgemm_semiring,
+    spgemm_spa,
+)
+from repro.config import GammaConfig
+from repro.core import GammaSimulator
+from repro.matrices.builder import CooBuilder
+from repro.semiring import ARITHMETIC, BOOLEAN, TROPICAL_MIN
+
+#: Small enough that random 25-dim operands actually stress eviction,
+#: partial spills, and multi-level merges.
+SMALL_CONFIG = GammaConfig(
+    num_pes=4, radix=4, fibercache_bytes=4 * 1024,
+    fibercache_ways=4, fibercache_banks=4,
+)
+
+QUICK = 12
+SEEDS = [
+    pytest.param(seed, marks=pytest.mark.slow) if seed >= QUICK else seed
+    for seed in range(50)
+]
+
+
+def random_pair(seed):
+    """One seeded (A, B) pair with deliberately varied structure."""
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 25))
+    k = int(rng.integers(1, 25))
+    n = int(rng.integers(1, 25))
+    density = float(rng.choice([0.02, 0.08, 0.2, 0.5]))
+
+    def build(rows, cols):
+        builder = CooBuilder(rows, cols)
+        for _ in range(int(np.ceil(density * rows * cols))):
+            builder.add(
+                int(rng.integers(rows)), int(rng.integers(cols)),
+                float(rng.uniform(0.1, 5.0)),
+            )
+        return builder.build()
+
+    return build(m, k), build(k, n)
+
+
+def entries(matrix):
+    """CSR content as {(row, col): value} for structural comparison."""
+    out = {}
+    for row in range(matrix.num_rows):
+        start, end = matrix.offsets[row], matrix.offsets[row + 1]
+        for idx in range(start, end):
+            out[(row, int(matrix.coords[idx]))] = float(matrix.values[idx])
+    return out
+
+
+def assert_same_matrix(actual, expected, exact):
+    got, want = entries(actual), entries(expected)
+    assert set(got) == set(want)
+    for coord, value in want.items():
+        if exact:
+            assert got[coord] == value, coord
+        else:
+            assert got[coord] == pytest.approx(value, rel=1e-9), coord
+
+
+def simulate(a, b, semiring=None):
+    sim = GammaSimulator(SMALL_CONFIG, semiring=semiring)
+    return sim.run(a, b).output
+
+
+class TestDifferentialArithmetic:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_spa_reference(self, seed):
+        a, b = random_pair(seed)
+        expected, _ = spgemm_spa(a, b)
+        # Tree-order float summation differs from reference order, so
+        # arithmetic comparisons are tolerance-based, not bit-exact.
+        assert_same_matrix(simulate(a, b), expected, exact=False)
+
+    @pytest.mark.parametrize("seed", range(QUICK))
+    def test_reference_kernels_agree(self, seed):
+        a, b = random_pair(seed)
+        spa, _ = spgemm_spa(a, b)
+        hashed, _ = spgemm_hash(a, b)
+        generic = spgemm_semiring(a, b, ARITHMETIC)
+        assert_same_matrix(hashed, spa, exact=False)
+        assert_same_matrix(generic, spa, exact=False)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_explicit_semiring_matches_default_path(self, seed):
+        a, b = random_pair(seed)
+        assert_same_matrix(
+            simulate(a, b, semiring=ARITHMETIC),
+            spgemm_semiring(a, b, ARITHMETIC), exact=False)
+
+
+class TestDifferentialSemirings:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_boolean(self, seed):
+        a, b = random_pair(seed)
+        assert_same_matrix(
+            simulate(a, b, semiring=BOOLEAN),
+            spgemm_semiring(a, b, BOOLEAN), exact=True)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tropical(self, seed):
+        a, b = random_pair(seed)
+        assert_same_matrix(
+            simulate(a, b, semiring=TROPICAL_MIN),
+            spgemm_semiring(a, b, TROPICAL_MIN), exact=True)
+
+
+class TestDifferentialStructure:
+    """Pathological shapes every seed may not hit get explicit coverage."""
+
+    def build(self, rows, cols, coords):
+        builder = CooBuilder(rows, cols)
+        for r, c, v in coords:
+            builder.add(r, c, v)
+        return builder.build()
+
+    @pytest.mark.parametrize(
+        "semiring", [None, BOOLEAN, TROPICAL_MIN],
+        ids=["arithmetic", "boolean", "tropical"])
+    def test_empty_a(self, semiring):
+        a = self.build(6, 5, [])
+        b = self.build(5, 7, [(0, 1, 2.0), (4, 6, 3.0)])
+        assert simulate(a, b, semiring=semiring).nnz == 0
+
+    @pytest.mark.parametrize(
+        "semiring", [None, BOOLEAN, TROPICAL_MIN],
+        ids=["arithmetic", "boolean", "tropical"])
+    def test_singleton_rows_and_interior_empty_rows(self, semiring):
+        a = self.build(5, 4, [(0, 2, 1.5), (3, 0, 2.0), (3, 3, 0.5)])
+        b = self.build(4, 3, [(0, 0, 1.0), (2, 1, 4.0), (3, 2, 2.5)])
+        oracle = semiring or ARITHMETIC
+        assert_same_matrix(
+            simulate(a, b, semiring=semiring),
+            spgemm_semiring(a, b, oracle),
+            exact=semiring is not None)
+
+    def test_row_wider_than_radix(self):
+        # One A row referencing more B rows than the merger radix forces
+        # a multi-level task tree; the result must not depend on it.
+        k = 3 * SMALL_CONFIG.radix + 1
+        a = self.build(1, k, [(0, i, 1.0 + i / 7) for i in range(k)])
+        b = self.build(
+            k, 6, [(i, i % 6, 0.5 + (i % 9) / 3) for i in range(k)])
+        expected, _ = spgemm_spa(a, b)
+        assert_same_matrix(simulate(a, b), expected, exact=False)

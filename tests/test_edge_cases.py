@@ -1,0 +1,155 @@
+"""Edge-case regressions with the full observability stack attached.
+
+Degenerate inputs — empty A, empty B, A with only zero rows, a row whose
+nnz exceeds the merger radix — must simulate correctly *with metrics and
+tracing enabled*, export schema-valid JSONL traces, and keep the trace
+schema itself pinned to the golden file.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.traffic import check_traffic_conservation
+from repro.config import GammaConfig
+from repro.core import GammaSimulator
+from repro.core.trace import ExecutionTrace
+from repro.matrices.builder import CooBuilder
+from repro.obs import (
+    MetricsRegistry,
+    event_schema,
+    read_jsonl,
+    validate_file,
+    validate_lines,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "trace_schema.json"
+
+SMALL = GammaConfig(
+    num_pes=4, radix=4, fibercache_bytes=4 * 1024,
+    fibercache_ways=4, fibercache_banks=4,
+)
+
+
+def build(rows, cols, coords):
+    builder = CooBuilder(rows, cols)
+    for r, c, v in coords:
+        builder.add(r, c, v)
+    return builder.build()
+
+
+def instrumented(a, b):
+    metrics = MetricsRegistry()
+    trace = ExecutionTrace()
+    result = GammaSimulator(SMALL, metrics=metrics, trace=trace).run(a, b)
+    return result, metrics, trace
+
+
+def export_and_validate(trace, tmp_path, **extras):
+    path = tmp_path / "trace.jsonl"
+    written = trace.to_jsonl(path, **extras)
+    assert validate_file(path) == trace.num_events
+    assert written == trace.num_events + 1  # header line
+    return path
+
+
+class TestDegenerateInputs:
+    def test_empty_a(self, tmp_path):
+        a = build(8, 6, [])
+        b = build(6, 5, [(0, 1, 2.0), (5, 4, 3.0)])
+        result, metrics, trace = instrumented(a, b)
+        assert result.output.nnz == 0
+        assert result.cycles == 0
+        assert trace.num_events == 0
+        check_traffic_conservation(metrics, result.total_traffic)
+        export_and_validate(trace, tmp_path)
+
+    def test_empty_b(self, tmp_path):
+        a = build(5, 4, [(0, 0, 1.0), (2, 3, 2.0), (4, 1, 0.5)])
+        b = build(4, 6, [])
+        result, metrics, trace = instrumented(a, b)
+        assert result.output.nnz == 0
+        check_traffic_conservation(metrics, result.total_traffic)
+        export_and_validate(trace, tmp_path)
+
+    def test_all_zero_row_a(self, tmp_path):
+        # Every A row is structurally empty: rows exist, nothing to do.
+        a = build(10, 10, [])
+        b = build(10, 10, [(i, (i * 3) % 10, 1.0 + i) for i in range(10)])
+        result, metrics, trace = instrumented(a, b)
+        assert result.output.nnz == 0
+        assert metrics.counter("tasks/dispatched").value == 0
+        assert metrics.counter("cycles/pe_busy_total").value == 0
+        check_traffic_conservation(metrics, result.total_traffic)
+        export_and_validate(trace, tmp_path)
+
+    def test_row_nnz_exceeds_radix(self, tmp_path):
+        # One row references 4x radix + 1 B rows: a multi-level task
+        # tree with partial fibers, with all instrumentation active.
+        k = 4 * SMALL.radix + 1
+        a = build(1, k, [(0, i, 1.0) for i in range(k)])
+        b = build(k, 8, [(i, i % 8, float(i + 1)) for i in range(k)])
+        result, metrics, trace = instrumented(a, b)
+        assert result.num_partial_fibers > 0
+        assert metrics.histogram("task/level").max >= 1
+        assert (metrics.counter("tasks/dispatched").value
+                == trace.num_events == result.num_tasks)
+        check_traffic_conservation(metrics, result.total_traffic)
+        path = export_and_validate(
+            trace, tmp_path, matrix="synthetic", model="gamma")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["matrix"] == "synthetic"
+        revived = read_jsonl(path)
+        assert revived.num_events == trace.num_events
+        assert revived.makespan == trace.makespan
+
+
+class TestTraceSchemaGolden:
+    def test_schema_matches_golden_file(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert event_schema() == golden, (
+            "trace schema drifted from tests/golden/trace_schema.json; "
+            "if the change is intentional, bump TRACE_SCHEMA_VERSION and "
+            "regenerate the golden file")
+
+    def test_validator_rejects_schema_drift(self):
+        stream = io.StringIO()
+        a = build(3, 3, [(0, 0, 1.0), (1, 2, 2.0)])
+        b = build(3, 3, [(0, 1, 1.0), (2, 0, 3.0)])
+        _, _, trace = instrumented(a, b)
+        trace.to_jsonl(stream)
+        lines = stream.getvalue().splitlines()
+        # Wrong schema version in the header.
+        bad_header = json.loads(lines[0])
+        bad_header["schema"] = 999
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            validate_lines([json.dumps(bad_header)] + lines[1:])
+        # A mistyped field in an event record.
+        bad_event = json.loads(lines[1])
+        bad_event["pe"] = "zero"
+        with pytest.raises(ValueError, match="'pe' is not a"):
+            validate_lines([lines[0], json.dumps(bad_event)] + lines[2:])
+        # A dropped field.
+        del bad_event["pe"]
+        bad_event["pe_id"] = 0
+        with pytest.raises(ValueError, match="missing field 'pe'"):
+            validate_lines([lines[0], json.dumps(bad_event)] + lines[2:])
+        # An event-count mismatch.
+        with pytest.raises(ValueError, match="events, found"):
+            validate_lines(lines[:-1])
+
+    def test_export_types_are_schema_valid(self, tmp_path):
+        rng = np.random.default_rng(3)
+        a = build(12, 10, [(int(rng.integers(12)), int(rng.integers(10)),
+                            1.0) for _ in range(40)])
+        b = build(10, 9, [(int(rng.integers(10)), int(rng.integers(9)),
+                           2.0) for _ in range(40)])
+        _, _, trace = instrumented(a, b)
+        path = export_and_validate(trace, tmp_path)
+        declared = event_schema()["task"]
+        for line in path.read_text().splitlines()[1:]:
+            record = json.loads(line)
+            assert set(record) == set(declared)

@@ -1,0 +1,128 @@
+"""Hypothesis property tests: FiberCache invariants under random use.
+
+The four primitives (fetch / read / write / consume) are interleaved in
+random orders over a tiny cache so evictions and re-installs happen
+constantly; structural invariants — bounded occupancy, non-negative
+bounded priority counters, residency postconditions, coherent counters —
+must hold at every step.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GammaConfig
+from repro.core.fibercache import FiberCache, _PRIORITY_MAX
+
+#: 16 lines, 4 ways x 4 sets, 4 banks: tiny enough that ~every operation
+#: sequence overflows sets and exercises replacement.
+TINY = GammaConfig(
+    num_pes=2, fibercache_bytes=1024, fibercache_ways=4,
+    fibercache_banks=4,
+)
+
+ADDRESSES = st.integers(0, 63)
+CATEGORIES = st.sampled_from(["B", "partial"])
+
+OPERATIONS = st.one_of(
+    st.tuples(st.just("fetch"), ADDRESSES, CATEGORIES),
+    st.tuples(st.just("read"), ADDRESSES, CATEGORIES),
+    st.tuples(st.just("write"), ADDRESSES, st.just("partial")),
+    st.tuples(st.just("consume"), ADDRESSES, st.just("partial")),
+    st.tuples(st.just("invalidate"), ADDRESSES, st.just("partial")),
+)
+
+
+def apply(cache, operation):
+    kind, addr, category = operation
+    if kind == "fetch":
+        cache.fetch(addr, category)
+    elif kind == "read":
+        cache.read(addr, category)
+    elif kind == "write":
+        cache.write(addr, category)
+    elif kind == "consume":
+        cache.consume(addr)
+    else:
+        cache.invalidate(addr)
+
+
+def check_structure(cache):
+    """Invariants that must hold after every single operation."""
+    by_category = {"B": 0, "partial": 0}
+    for line_set in cache._sets:
+        assert len(line_set) <= cache.num_ways
+        for addr, line in line_set.items():
+            assert line.addr == addr
+            assert addr % cache.num_sets == cache._sets.index(line_set)
+            assert 0 <= line.priority <= _PRIORITY_MAX
+            assert 0 <= line.rrpv <= 3
+            by_category[line.category] += 1
+    assert cache.occupancy == by_category
+    assert 0 <= cache.resident_lines <= cache.total_lines
+
+
+class TestFiberCacheProperties:
+    @given(st.lists(OPERATIONS, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_random_interleavings(self, operations):
+        cache = FiberCache(TINY)
+        for operation in operations:
+            apply(cache, operation)
+            kind, addr, _ = operation
+            if kind in ("fetch", "read", "write"):
+                assert cache.contains(addr)
+            else:  # consume / invalidate drop the line
+                assert not cache.contains(addr)
+        check_structure(cache)
+
+    @given(st.lists(OPERATIONS, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_counter_coherence(self, operations):
+        cache = FiberCache(TINY)
+        counts = {"fetch": 0, "read": 0, "write": 0, "consume": 0,
+                  "invalidate": 0}
+        for operation in operations:
+            apply(cache, operation)
+            counts[operation[0]] += 1
+        stats = cache.stats
+        assert stats.fetch_hits + stats.fetch_misses == counts["fetch"]
+        assert stats.read_hits + stats.read_misses == counts["read"]
+        assert stats.writes == counts["write"]
+        assert (stats.consume_hits + stats.consume_misses
+                == counts["consume"])
+        # Every fetch/read/write/consume touches exactly one bank, and
+        # fetch/read/consume classify it as a hit or a miss.
+        classified = counts["fetch"] + counts["read"] + counts["consume"]
+        assert sum(cache.bank_hits) + sum(cache.bank_misses) == classified
+        assert sum(cache.bank_accesses) == classified + counts["write"]
+        assert all(0.0 <= rate <= 1.0 for rate in cache.bank_hit_rates())
+        # Misses are what the DRAM sees: the per-category miss lines must
+        # add up to the per-primitive miss counters.
+        assert (sum(cache.miss_lines.values())
+                == stats.fetch_misses + stats.read_misses
+                + stats.consume_misses)
+
+    @given(st.lists(OPERATIONS, min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_accounting(self, operations):
+        cache = FiberCache(TINY)
+        for operation in operations:
+            apply(cache, operation)
+        stats = cache.stats
+        # Installs: fetch/read misses always install; a write installs
+        # only when the line was absent. Whatever was installed is now
+        # either resident or was removed by eviction/consume/invalidate,
+        # so evictions can never exceed installs.
+        max_installs = (stats.fetch_misses + stats.read_misses
+                        + stats.writes)
+        assert (stats.dirty_evictions + stats.clean_evictions
+                <= max_installs)
+
+    @given(st.lists(st.tuples(st.just("fetch"), ADDRESSES,
+                              st.just("B")), max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_fetch_only_never_writes_back(self, operations):
+        cache = FiberCache(TINY)
+        for operation in operations:
+            apply(cache, operation)
+        assert cache.stats.dirty_evictions == 0
+        assert cache.occupancy["partial"] == 0

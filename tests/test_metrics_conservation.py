@@ -1,0 +1,146 @@
+"""Conservation laws tying the metrics layer to the simulator's totals.
+
+The observability layer measures request by request and task by task; if
+its sums ever drift from the simulator's own aggregate accounting, the
+instrumentation is lying. These tests pin the two views together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traffic import (
+    check_traffic_conservation,
+    stream_breakdown_from_metrics,
+)
+from repro.config import GammaConfig, LINE_BYTES
+from repro.core import GammaSimulator
+from repro.matrices.builder import CooBuilder
+from repro.obs import MetricsRegistry
+
+SMALL = GammaConfig(
+    num_pes=4, radix=4, fibercache_bytes=4 * 1024,
+    fibercache_ways=4, fibercache_banks=4,
+)
+
+
+def assert_breakdown_matches(breakdown, traffic_bytes):
+    """Streams with zero requests never create a counter, so compare
+    with an implicit zero default rather than dict equality."""
+    assert set(breakdown) <= set(traffic_bytes)
+    for category, count in traffic_bytes.items():
+        assert breakdown.get(category, 0) == count, category
+
+
+def random_matrix(rng, rows, cols, entries):
+    builder = CooBuilder(rows, cols)
+    for _ in range(entries):
+        builder.add(int(rng.integers(rows)), int(rng.integers(cols)),
+                    float(rng.uniform(0.1, 5.0)))
+    return builder.build()
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def instrumented_run(request):
+    rng = np.random.default_rng(request.param)
+    a = random_matrix(rng, 30, 24, 140)
+    b = random_matrix(rng, 24, 28, 150)
+    metrics = MetricsRegistry()
+    result = GammaSimulator(SMALL, metrics=metrics).run(a, b)
+    return result, metrics
+
+
+class TestTrafficConservation:
+    def test_streams_sum_to_total_traffic(self, instrumented_run):
+        result, metrics = instrumented_run
+        breakdown = check_traffic_conservation(
+            metrics, result.total_traffic)
+        assert_breakdown_matches(breakdown, result.traffic_bytes)
+
+    def test_blob_roundtrip_preserves_conservation(self, instrumented_run):
+        result, metrics = instrumented_run
+        blob = metrics.to_blob()
+        assert_breakdown_matches(
+            stream_breakdown_from_metrics(blob), result.traffic_bytes)
+        check_traffic_conservation(blob, result.total_traffic)
+
+    def test_miss_lines_match_dram_reads(self, instrumented_run):
+        result, metrics = instrumented_run
+        miss = metrics.counters_with_prefix("cache/miss_lines/")
+        assert miss["B"] * LINE_BYTES == result.traffic_bytes["B"]
+        assert (miss["partial"] * LINE_BYTES
+                == result.traffic_bytes["partial_read"])
+
+    def test_conservation_check_rejects_wrong_total(self, instrumented_run):
+        result, metrics = instrumented_run
+        with pytest.raises(ValueError, match="aggregate traffic"):
+            check_traffic_conservation(metrics, result.total_traffic + 1)
+
+
+class TestCycleConservation:
+    def test_pe_busy_plus_idle_covers_execution(self, instrumented_run):
+        result, metrics = instrumented_run
+        busy = metrics.counter("cycles/pe_busy_total").value
+        idle = metrics.counter("cycles/pe_idle_total").value
+        assert busy + idle == pytest.approx(
+            result.cycles * SMALL.num_pes, rel=1e-9)
+
+    def test_busy_total_matches_simulator_aggregate(self, instrumented_run):
+        result, metrics = instrumented_run
+        busy = metrics.counter("cycles/pe_busy_total").value
+        assert busy == pytest.approx(result.pe_busy_cycles, rel=1e-9)
+        # The per-PE table must sum to the same total.
+        per_pe = metrics.series("pe/busy")
+        assert sum(per_pe.ys) == pytest.approx(busy, rel=1e-9)
+
+    def test_compute_cycles_equal_busy_cycles(self, instrumented_run):
+        result, metrics = instrumented_run
+        # Per-task compute accounting and per-PE busy accounting are two
+        # routes to the same quantity.
+        compute = metrics.counter("cycles/compute").value
+        busy = metrics.counter("cycles/pe_busy_total").value
+        assert compute == pytest.approx(busy, rel=1e-9)
+
+    def test_task_counts_conserve(self, instrumented_run):
+        result, metrics = instrumented_run
+        dispatched = metrics.counter("tasks/dispatched").value
+        assert dispatched == result.num_tasks
+        assert dispatched == (
+            metrics.counter("tasks/final").value
+            + metrics.counter("tasks/partial_outputs").value)
+        assert (metrics.counter("tasks/partial_outputs").value
+                == result.num_partial_fibers)
+
+    def test_run_gauges_match_result(self, instrumented_run):
+        result, metrics = instrumented_run
+        assert metrics.gauge("run/cycles").value == result.cycles
+        assert metrics.gauge("run/flops").value == result.flops
+
+
+class TestEngineIntegration:
+    def test_record_carries_conserving_blob(self):
+        from repro.engine.registry import get_model
+
+        rng = np.random.default_rng(7)
+        a = random_matrix(rng, 20, 20, 80)
+        b = random_matrix(rng, 20, 20, 80)
+        record = get_model("gamma").run(
+            a, b, SMALL, matrix="synthetic", collect_metrics=True)
+        assert record.metrics is not None
+        assert_breakdown_matches(
+            check_traffic_conservation(
+                record.metrics, record.total_traffic),
+            record.traffic_bytes)
+        # Serialization to/from the disk-cache payload keeps the blob.
+        from repro.engine.record import RunRecord
+
+        revived = RunRecord.from_payload(record.to_payload())
+        check_traffic_conservation(revived.metrics, revived.total_traffic)
+
+    def test_metrics_off_by_default(self):
+        from repro.engine.registry import get_model
+
+        rng = np.random.default_rng(8)
+        a = random_matrix(rng, 15, 15, 50)
+        b = random_matrix(rng, 15, 15, 50)
+        record = get_model("gamma").run(a, b, SMALL, matrix="synthetic")
+        assert record.metrics is None

@@ -1,0 +1,158 @@
+"""Unit tests for the MetricsRegistry primitives and serialization."""
+
+import math
+
+import pytest
+
+from repro.analysis.roofline import phase_windows
+from repro.obs import (
+    METRICS_SCHEMA_VERSION,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    as_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        assert registry.counter("x").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        registry.gauge("g").set(7.5)
+        assert registry.gauge("g").value == 7.5
+
+    def test_counters_with_prefix_strips_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("dram/bytes/A").inc(10)
+        registry.counter("dram/bytes/B").inc(20)
+        registry.counter("other").inc(99)
+        assert registry.counters_with_prefix("dram/bytes/") == {
+            "A": 10, "B": 20}
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        hist = Histogram()
+        for value in (-3, 0, 1, 1.5, 2, 3, 1000):
+            hist.observe(value)
+        assert hist.buckets == {"neg": 1, "zero": 1, "0": 2, "1": 2,
+                                "9": 1}
+        assert hist.count == 7
+        assert hist.min == -3 and hist.max == 1000
+        assert hist.mean == pytest.approx(1004.5 / 7)
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.buckets == {}
+
+
+class TestTimeSeries:
+    def test_decimation_keeps_memory_bounded(self):
+        series = TimeSeries(max_samples=8)
+        for i in range(1000):
+            series.sample(float(i), 1.0)
+        assert len(series) <= 8
+        assert series.stride > 1
+        # Retained samples stay in order and inside the sampled range.
+        assert series.xs == sorted(series.xs)
+        assert series.xs[0] >= 0 and series.xs[-1] < 1000
+
+    def test_stride_corrected_totals_approximate_true_sum(self):
+        series = TimeSeries(max_samples=64)
+        for i in range(10_000):
+            series.sample(float(i), 2.0)
+        estimate = sum(series.ys) * series.stride
+        assert estimate == pytest.approx(20_000, rel=0.15)
+
+    def test_small_series_exact(self):
+        series = TimeSeries()
+        series.sample(0, 5.0)
+        series.sample(1, 7.0)
+        assert series.points() == [(0, 5.0), (1, 7.0)]
+        assert series.stride == 1
+
+
+class TestSerialization:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(42)
+        registry.gauge("g").set(3.25)
+        registry.histogram("h").observe(5)
+        registry.series("s").sample(1.0, 2.0)
+        registry.set_info("label", {"nested": [1, 2]})
+        return registry
+
+    def test_blob_roundtrip(self):
+        original = self.build_registry()
+        blob = original.to_blob()
+        assert blob["schema"] == METRICS_SCHEMA_VERSION
+        revived = MetricsRegistry.from_blob(blob)
+        assert revived.to_blob() == blob
+
+    def test_empty_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        revived = MetricsRegistry.from_blob(registry.to_blob())
+        assert revived.histogram("h").count == 0
+        assert revived.histogram("h").min == math.inf
+
+    def test_from_blob_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            MetricsRegistry.from_blob({"schema": 0})
+
+    def test_as_registry_accepts_all_forms(self):
+        registry = self.build_registry()
+        assert as_registry(None) is None
+        assert as_registry(registry) is registry
+        revived = as_registry(registry.to_blob())
+        assert revived.counter("c").value == 42
+
+
+class TestPhaseWindows:
+    def build_metrics(self):
+        registry = MetricsRegistry()
+        registry.gauge("run/cycles").set(1000.0)
+        # Busy concentrated early, misses concentrated late.
+        for t in range(0, 500, 10):
+            registry.series("timeline/busy").sample(float(t), 10.0)
+        for t in range(500, 1000, 10):
+            registry.series("timeline/miss_bytes").sample(float(t), 640.0)
+        registry.set_info("system", {"num_pes": 4, "frequency_hz": 1e9,
+                                     "bytes_per_cycle": 128.0})
+        return registry
+
+    def test_windows_partition_the_run(self):
+        windows = phase_windows(self.build_metrics(), num_windows=4)
+        assert len(windows) == 4
+        assert windows[0]["start"] == 0
+        assert windows[-1]["end"] == pytest.approx(1000.0)
+        # Activity lands where it was sampled.
+        assert windows[0]["busy_cycles"] > 0
+        assert windows[0]["miss_bytes"] == 0
+        assert windows[-1]["miss_bytes"] > 0
+        assert windows[-1]["busy_cycles"] == 0
+        for window in windows:
+            assert window["bound"] in ("memory", "compute")
+            # Zero intensity (no compute in the window) pins the sloped
+            # roof to zero; otherwise the roof is positive.
+            assert window["roof_gflops"] >= 0
+            if window["intensity"] > 0:
+                assert window["roof_gflops"] > 0
+
+    def test_requires_metrics(self):
+        with pytest.raises(ValueError, match="no metrics"):
+            phase_windows(None)
+
+    def test_empty_run_yields_no_windows(self):
+        assert phase_windows(MetricsRegistry()) == []
