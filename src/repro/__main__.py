@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 
@@ -113,17 +114,60 @@ def _cmd_sweep(args) -> int:
         print(f"[{done['count']}/{len(points)}] {label_of(point)}  "
               f"cycles={record.cycles:.0f}")
 
+    computed_wall = {"total": 0.0}
+
     def executed(point, record, wall_seconds):
+        computed_wall["total"] += wall_seconds
         print(f"  computed {label_of(point)}  "
               f"wall={wall_seconds:.2f}s  events={record.num_tasks}")
 
+    sweep_start = time.perf_counter()
     run_sweep(points, workers=args.workers, serial=args.serial,
               on_result=progress, on_executed=executed)
+    sweep_wall = time.perf_counter() - sweep_start
     from repro.engine import diskcache
     store = ("the disk cache" if diskcache.cache_enabled()
              else "memory only (disk cache disabled)")
-    print(f"sweep complete: {len(points)} records in {store}")
+    summary = (f"sweep complete: {len(points)} records in {store}; "
+               f"wall {sweep_wall:.2f}s "
+               f"({computed_wall['total']:.2f}s in computed points)")
+    trajectory = _hotpath_trajectory()
+    if trajectory:
+        summary += f"; hot-path wall before/after: {trajectory}"
+    print(summary)
     return 0
+
+
+def _hotpath_trajectory() -> str:
+    """The recorded before/after aggregate from BENCH_hotpath.json, if any.
+
+    ``scripts/bench_hotpath.py --combine`` pins the hot-path wall-clock
+    trajectory of the simulator kernels; surfacing it next to the live
+    sweep wall keeps perf regressions visible from the CLI.
+    """
+    import json
+    from pathlib import Path
+
+    candidates = [
+        Path("BENCH_hotpath.json"),
+        Path(__file__).resolve().parents[2] / "BENCH_hotpath.json",
+    ]
+    for path in candidates:
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        comparison = report.get("comparison") or {}
+        before = comparison.get("before_wall_s_total")
+        after = comparison.get("after_wall_s_total")
+        speedup = comparison.get("aggregate_speedup")
+        if before is None or after is None:
+            continue
+        text = f"{before:.2f}s -> {after:.2f}s"
+        if speedup:
+            text += f" ({speedup:.2f}x)"
+        return text
+    return ""
 
 
 def _cmd_profile(args) -> int:

@@ -3,6 +3,7 @@
 from repro.core.accumulator import Accumulator, accumulate
 from repro.core.dram import MemoryInterface, TrafficCounter
 from repro.core.fibercache import CacheStats, FiberCache
+from repro.core.fibercache_ref import ReferenceFiberCache
 from repro.core.merger import HighRadixMerger, merge_cycles
 from repro.core.pe import PEResult, ProcessingElement
 from repro.core.result import SimulationResult
@@ -21,6 +22,7 @@ __all__ = [
     "MemoryInterface",
     "PEResult",
     "ProcessingElement",
+    "ReferenceFiberCache",
     "Scheduler",
     "SimulationResult",
     "Task",

@@ -16,12 +16,33 @@ candidate is at 3).
 The model operates on abstract line addresses: callers map fibers to
 address ranges (matrix layout or the scheduler's dynamic partial-fiber
 allocator) and the cache indexes sets by address modulo set count.
+
+Hot-path organization (see docs/architecture.md §10)
+----------------------------------------------------
+This implementation is the *batched* cache: callers stream whole address
+ranges through ``fetch_range`` / ``read_range`` / ``write_range`` /
+``consume_range`` (plus the fused ``fetch_read_range``) instead of one
+Python call per line. State lives in set-major slot arrays — parallel
+arrays of length ``num_sets * num_ways`` indexed by ``set * ways + way``
+(tags, priority, RRPV, dirty, category, insertion sequence) with an
+address→slot index for O(1) lookup. The arrays are plain Python lists
+internally: at the 1–3-line ranges that dominate real sweeps, per-element
+list access (~40 ns) beats both dict-of-objects attribute chasing and
+NumPy element access / small-batch ufunc dispatch (~0.9 µs per call),
+which we measured to be slower until ranges exceed ~30 lines.
+``set_arrays()`` exports the same state as per-set NumPy arrays for
+tests, lockstep checking, and observability.
+
+The scalar primitives (``fetch``/``read``/``write``/``consume``) remain
+as single-line wrappers over the range kernels; the authoritative scalar
+*model* of the semantics is :class:`repro.core.fibercache_ref.ReferenceFiberCache`,
+which the Hypothesis lockstep suite replays against this class.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import GammaConfig, LINE_BYTES
 
@@ -30,18 +51,9 @@ _RRPV_MAX = 3
 _RRPV_INSERT = 2
 _PRIORITY_MAX = 31  # 5-bit counter for 32 PEs (Sec. 3.2)
 
-
-class _Line:
-    """One resident cache line."""
-
-    __slots__ = ("addr", "category", "priority", "rrpv", "dirty")
-
-    def __init__(self, addr: int, category: str) -> None:
-        self.addr = addr
-        self.category = category
-        self.priority = 0
-        self.rrpv = _RRPV_INSERT
-        self.dirty = False
+#: Category codes in the slot arrays.
+_CATEGORIES = ("B", "partial")
+_CAT_CODE = {"B": 0, "partial": 1}
 
 
 @dataclass
@@ -67,6 +79,25 @@ class CacheStats:
         return self.read_hits / self.reads if self.reads else 1.0
 
 
+class LineView:
+    """Read-only snapshot of one resident line's replacement state."""
+
+    __slots__ = ("addr", "category", "priority", "rrpv", "dirty")
+
+    def __init__(self, addr: int, category: str, priority: int,
+                 rrpv: int, dirty: bool) -> None:
+        self.addr = addr
+        self.category = category
+        self.priority = priority
+        self.rrpv = rrpv
+        self.dirty = dirty
+
+    def __repr__(self) -> str:
+        return (f"LineView(addr={self.addr}, category={self.category!r}, "
+                f"priority={self.priority}, rrpv={self.rrpv}, "
+                f"dirty={self.dirty})")
+
+
 class FiberCache:
     """Banked, set-associative cache with explicit data orchestration.
 
@@ -82,9 +113,20 @@ class FiberCache:
         self.config = config
         self.num_sets = config.fibercache_sets
         self.num_ways = config.fibercache_ways
-        self._sets: List[Dict[int, _Line]] = [
-            {} for _ in range(self.num_sets)
-        ]
+        num_slots = self.num_sets * self.num_ways
+        # Set-major slot arrays: slot = set * num_ways + way.
+        self._tags: List[int] = [-1] * num_slots
+        self._prio: List[int] = [0] * num_slots
+        self._rrpv: List[int] = [0] * num_slots
+        self._dirty: List[int] = [0] * num_slots
+        self._cat: List[int] = [0] * num_slots
+        self._seq: List[int] = [0] * num_slots
+        #: addr -> slot for every resident line.
+        self._slot_of: Dict[int, int] = {}
+        #: valid lines per set (install scans for a free way only when < ways).
+        self._fill: List[int] = [0] * self.num_sets
+        self._seq_counter = 0
+        self._last_victim: Optional[Tuple[int, str, bool]] = None
         self.stats = CacheStats()
         #: DRAM read lines caused by misses, by data category.
         self.miss_lines = {"B": 0, "partial": 0}
@@ -100,7 +142,301 @@ class FiberCache:
         self.bank_misses = [0] * config.fibercache_banks
 
     # ------------------------------------------------------------------
-    # Primitives
+    # Internal: eviction + install on the slot arrays
+    # ------------------------------------------------------------------
+    def _evict_from_set(self, set_index: int) -> int:
+        """Evict the lowest-priority line of a full set, SRRIP-aged among
+        ties; returns the freed slot.
+
+        Victim = lexicographic minimum of (priority, -rrpv, insertion
+        sequence) over the set — exactly the line the reference model's
+        first-match scan selects. One pass finds the victim and collects
+        the min-priority candidates so the aging sweep touches only them.
+        """
+        tags = self._tags
+        prio = self._prio
+        rrpv = self._rrpv
+        seq = self._seq
+        base = set_index * self.num_ways
+        best_slot = base
+        best_prio = prio[base]
+        best_rrpv = rrpv[base]
+        best_seq = seq[base]
+        candidates = [base]
+        for slot in range(base + 1, base + self.num_ways):
+            p = prio[slot]
+            if p > best_prio:
+                continue
+            if p < best_prio:
+                best_prio = p
+                candidates = [slot]
+                best_slot = slot
+                best_rrpv = rrpv[slot]
+                best_seq = seq[slot]
+            else:
+                candidates.append(slot)
+                r = rrpv[slot]
+                if r > best_rrpv or (r == best_rrpv and seq[slot] < best_seq):
+                    best_slot = slot
+                    best_rrpv = r
+                    best_seq = seq[slot]
+        if best_rrpv < _RRPV_MAX:
+            # Age all tied candidates so the victim reaches RRPV max,
+            # as SRRIP would by repeated aging sweeps.
+            aging = _RRPV_MAX - best_rrpv
+            for slot in candidates:
+                new_rrpv = rrpv[slot] + aging
+                rrpv[slot] = new_rrpv if new_rrpv < _RRPV_MAX else _RRPV_MAX
+        dirty = self._dirty[best_slot]
+        if dirty:
+            self.stats.dirty_evictions += 1
+        else:
+            self.stats.clean_evictions += 1
+        category = _CATEGORIES[self._cat[best_slot]]
+        self.occupancy[category] -= 1
+        addr = tags[best_slot]
+        del self._slot_of[addr]
+        tags[best_slot] = -1
+        self._fill[set_index] -= 1
+        self._last_victim = (addr, category, bool(dirty))
+        return best_slot
+
+    def _install(self, addr: int, cat_code: int) -> int:
+        """Install a line (evicting if the set is full); returns its slot."""
+        set_index = addr % self.num_sets
+        tags = self._tags
+        if self._fill[set_index] >= self.num_ways:
+            slot = self._evict_from_set(set_index)
+        else:
+            slot = set_index * self.num_ways
+            while tags[slot] >= 0:
+                slot += 1
+        tags[slot] = addr
+        self._prio[slot] = 0
+        self._rrpv[slot] = _RRPV_INSERT
+        self._dirty[slot] = 0
+        self._cat[slot] = cat_code
+        self._seq[slot] = self._seq_counter
+        self._seq_counter += 1
+        self._slot_of[addr] = slot
+        self._fill[set_index] += 1
+        self.occupancy[_CATEGORIES[cat_code]] += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    # Batched range primitives
+    # ------------------------------------------------------------------
+    def fetch_range(self, lo: int, hi: int,
+                    category: str = "B") -> Tuple[int, int]:
+        """Fetch every line in [lo, hi) in address order.
+
+        Semantically identical to calling :meth:`fetch` per line; one
+        Python call and one stats flush per range.
+
+        Returns:
+            (miss_lines, dirty_evictions) caused by this range.
+        """
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        cat_code = _CAT_CODE[category]
+        slot_of = self._slot_of
+        prio = self._prio
+        rrpv = self._rrpv
+        num_banks = len(self.bank_accesses)
+        bank_accesses = self.bank_accesses
+        bank_hits = self.bank_hits
+        bank_misses = self.bank_misses
+        hits = 0
+        misses = 0
+        dirty_before = self.stats.dirty_evictions
+        for addr in range(lo, hi):
+            bank_accesses[addr % num_banks] += 1
+            slot = slot_of.get(addr)
+            if slot is not None:
+                hits += 1
+                bank_hits[addr % num_banks] += 1
+                if prio[slot] < _PRIORITY_MAX:
+                    prio[slot] += 1
+                rrpv[slot] = 0
+            else:
+                misses += 1
+                bank_misses[addr % num_banks] += 1
+                slot = self._install(addr, cat_code)
+                prio[slot] = 1
+        self.stats.fetch_hits += hits
+        self.stats.fetch_misses += misses
+        self.miss_lines[category] += misses
+        return misses, self.stats.dirty_evictions - dirty_before
+
+    def read_range(self, lo: int, hi: int,
+                   category: str = "B") -> Tuple[int, int]:
+        """Read every line in [lo, hi) in address order (PE consumption).
+
+        Returns:
+            (miss_lines, dirty_evictions) caused by this range.
+        """
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        cat_code = _CAT_CODE[category]
+        slot_of = self._slot_of
+        prio = self._prio
+        rrpv = self._rrpv
+        num_banks = len(self.bank_accesses)
+        bank_accesses = self.bank_accesses
+        bank_hits = self.bank_hits
+        bank_misses = self.bank_misses
+        hits = 0
+        misses = 0
+        dirty_before = self.stats.dirty_evictions
+        for addr in range(lo, hi):
+            bank_accesses[addr % num_banks] += 1
+            slot = slot_of.get(addr)
+            if slot is not None:
+                hits += 1
+                bank_hits[addr % num_banks] += 1
+                if prio[slot] > 0:
+                    prio[slot] -= 1
+                rrpv[slot] = 0
+            else:
+                misses += 1
+                bank_misses[addr % num_banks] += 1
+                slot = self._install(addr, cat_code)
+                prio[slot] = 0
+                rrpv[slot] = _RRPV_INSERT
+        self.stats.read_hits += hits
+        self.stats.read_misses += misses
+        self.miss_lines[category] += misses
+        return misses, self.stats.dirty_evictions - dirty_before
+
+    def fetch_read_range(self, lo: int, hi: int,
+                         category: str = "B") -> Tuple[int, int]:
+        """Fused ``fetch_range(lo, hi)`` followed by ``read_range(lo, hi)``.
+
+        This is the per-input touch pattern of ``_execute_task``: prefetch
+        the whole range, then consume it. When the range spans distinct
+        sets (``hi - lo <= num_sets``, true for every real fiber since
+        ranges are contiguous), each line's set is touched by no other
+        line of the range, so fetch+read per line in one pass is
+        state-identical to the two full passes and the fused loop runs
+        once. Longer ranges fall back to the two explicit passes.
+
+        Returns:
+            (miss_lines, dirty_evictions) caused by the fetch pass (the
+            read pass can only miss when the range wraps the set space,
+            which the fallback path handles and includes in the totals).
+        """
+        if hi - lo > self.num_sets:
+            m1, d1 = self.fetch_range(lo, hi, category)
+            m2, d2 = self.read_range(lo, hi, category)
+            return m1 + m2, d1 + d2
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        cat_code = _CAT_CODE[category]
+        slot_of = self._slot_of
+        prio = self._prio
+        rrpv = self._rrpv
+        num_banks = len(self.bank_accesses)
+        bank_accesses = self.bank_accesses
+        bank_hits = self.bank_hits
+        bank_misses = self.bank_misses
+        hits = 0
+        misses = 0
+        dirty_before = self.stats.dirty_evictions
+        for addr in range(lo, hi):
+            bank = addr % num_banks
+            bank_accesses[bank] += 2
+            bank_hits[bank] += 1  # the read always hits a just-fetched line
+            slot = slot_of.get(addr)
+            if slot is not None:
+                hits += 1
+                bank_hits[bank] += 1
+                # fetch: priority++ (saturating); read: priority--.
+                if prio[slot] >= _PRIORITY_MAX:
+                    prio[slot] = _PRIORITY_MAX - 1
+                rrpv[slot] = 0
+            else:
+                misses += 1
+                bank_misses[bank] += 1
+                slot = self._install(addr, cat_code)
+                # fetch installs at priority 1; the read drops it to 0.
+                prio[slot] = 0
+                rrpv[slot] = 0
+        n = hi - lo
+        self.stats.fetch_hits += hits
+        self.stats.fetch_misses += misses
+        self.stats.read_hits += n
+        self.miss_lines[category] += misses
+        return misses, self.stats.dirty_evictions - dirty_before
+
+    def write_range(self, lo: int, hi: int,
+                    category: str = "partial") -> Tuple[int, int]:
+        """Allocate-without-fetch every line in [lo, hi); marks them dirty.
+
+        Returns:
+            (0, dirty_evictions) — writes never read DRAM themselves.
+        """
+        if category not in self.occupancy:
+            raise ValueError(f"unknown line category {category!r}")
+        cat_code = _CAT_CODE[category]
+        slot_of = self._slot_of
+        rrpv = self._rrpv
+        dirty = self._dirty
+        num_banks = len(self.bank_accesses)
+        bank_accesses = self.bank_accesses
+        dirty_before = self.stats.dirty_evictions
+        for addr in range(lo, hi):
+            bank_accesses[addr % num_banks] += 1
+            slot = slot_of.get(addr)
+            if slot is None:
+                slot = self._install(addr, cat_code)
+            dirty[slot] = 1
+            rrpv[slot] = 0
+            # No priority bump: only fetch raises priority (Sec. 3.2), so
+            # idle partial fibers spill to their reserved memory under
+            # pressure instead of pinning capacity that B rows could use.
+        self.stats.writes += hi - lo
+        return 0, self.stats.dirty_evictions - dirty_before
+
+    def consume_range(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Read-and-invalidate every partial line in [lo, hi).
+
+        On hit the line is dropped without writeback even though dirty; a
+        miss means the partial fiber was spilled and must be re-read from
+        DRAM.
+
+        Returns:
+            (miss_lines, 0) — consumes free capacity, they never evict.
+        """
+        slot_of = self._slot_of
+        tags = self._tags
+        num_ways = self.num_ways
+        num_banks = len(self.bank_accesses)
+        bank_accesses = self.bank_accesses
+        bank_hits = self.bank_hits
+        bank_misses = self.bank_misses
+        occupancy = self.occupancy
+        fill = self._fill
+        hits = 0
+        misses = 0
+        for addr in range(lo, hi):
+            bank_accesses[addr % num_banks] += 1
+            slot = slot_of.pop(addr, None)
+            if slot is not None:
+                hits += 1
+                bank_hits[addr % num_banks] += 1
+                occupancy[_CATEGORIES[self._cat[slot]]] -= 1
+                tags[slot] = -1
+                fill[slot // num_ways] -= 1
+            else:
+                misses += 1
+                bank_misses[addr % num_banks] += 1
+        self.stats.consume_hits += hits
+        self.stats.consume_misses += misses
+        self.miss_lines["partial"] += misses
+        return misses, 0
+
+    # ------------------------------------------------------------------
+    # Scalar primitives (single-line wrappers over the range kernels)
     # ------------------------------------------------------------------
     def fetch(self, addr: int, category: str = "B") -> bool:
         """Decoupled prefetch of one line. Returns True on miss (DRAM read).
@@ -108,25 +444,7 @@ class FiberCache:
         Whether hit or miss, the line's priority counter is incremented so
         replacement will not victimize it before the matching ``read``.
         """
-        bank = addr % len(self.bank_accesses)
-        self.bank_accesses[bank] += 1
-        line_set = self._sets[addr % self.num_sets]
-        line = line_set.get(addr)
-        if line is not None:
-            self.stats.fetch_hits += 1
-            self.bank_hits[bank] += 1
-            if line.priority < _PRIORITY_MAX:
-                line.priority += 1
-            line.rrpv = 0
-            return False
-        if category not in self.miss_lines:
-            raise ValueError(f"unknown line category {category!r}")
-        self.stats.fetch_misses += 1
-        self.bank_misses[bank] += 1
-        self.miss_lines[category] += 1
-        line = self._install(addr, category)
-        line.priority = 1
-        return True
+        return self.fetch_range(addr, addr + 1, category)[0] > 0
 
     def read(self, addr: int, category: str = "B") -> bool:
         """PE consumption of a fetched line. Returns True on miss.
@@ -134,138 +452,80 @@ class FiberCache:
         A miss means the line was evicted between fetch and read (or was
         never fetched) and costs a DRAM access.
         """
-        bank = addr % len(self.bank_accesses)
-        self.bank_accesses[bank] += 1
-        line_set = self._sets[addr % self.num_sets]
-        line = line_set.get(addr)
-        if line is not None:
-            self.stats.read_hits += 1
-            self.bank_hits[bank] += 1
-            if line.priority > 0:
-                line.priority -= 1
-            line.rrpv = 0
-            return False
-        if category not in self.miss_lines:
-            raise ValueError(f"unknown line category {category!r}")
-        self.stats.read_misses += 1
-        self.bank_misses[bank] += 1
-        self.miss_lines[category] += 1
-        line = self._install(addr, category)
-        line.priority = 0
-        return True
+        return self.read_range(addr, addr + 1, category)[0] > 0
 
     def write(self, addr: int, category: str = "partial") -> None:
         """Allocate a line without fetching and mark it dirty (Sec. 3.2).
 
         Used for partial output fibers, which need not be backed by memory.
         """
-        self.bank_accesses[addr % len(self.bank_accesses)] += 1
-        self.stats.writes += 1
-        line_set = self._sets[addr % self.num_sets]
-        line = line_set.get(addr)
-        if line is None:
-            line = self._install(addr, category)
-        line.dirty = True
-        line.rrpv = 0
-        # No priority bump: only fetch raises priority (Sec. 3.2), so idle
-        # partial fibers spill to their reserved memory under pressure
-        # instead of pinning capacity that B rows could use.
+        self.write_range(addr, addr + 1, category)
 
     def consume(self, addr: int) -> bool:
-        """Read-and-invalidate a partial line. Returns True on miss.
-
-        On hit the line is dropped without writeback even though dirty; a
-        miss means the partial fiber was spilled and must be re-read from
-        DRAM.
-        """
-        bank = addr % len(self.bank_accesses)
-        self.bank_accesses[bank] += 1
-        line_set = self._sets[addr % self.num_sets]
-        line = line_set.pop(addr, None)
-        if line is not None:
-            self.stats.consume_hits += 1
-            self.bank_hits[bank] += 1
-            self.occupancy[line.category] -= 1
-            return False
-        self.stats.consume_misses += 1
-        self.bank_misses[bank] += 1
-        self.miss_lines["partial"] += 1
-        return True
+        """Read-and-invalidate a partial line. Returns True on miss."""
+        return self.consume_range(addr, addr + 1)[0] > 0
 
     def invalidate(self, addr: int) -> None:
         """Drop a line if resident, without writeback (deallocation)."""
-        line_set = self._sets[addr % self.num_sets]
-        line = line_set.pop(addr, None)
-        if line is not None:
-            self.occupancy[line.category] -= 1
-
-    # ------------------------------------------------------------------
-    # Replacement
-    # ------------------------------------------------------------------
-    def _install(self, addr: int, category: str) -> _Line:
-        if category not in self.occupancy:
-            raise ValueError(f"unknown line category {category!r}")
-        line_set = self._sets[addr % self.num_sets]
-        if len(line_set) >= self.num_ways:
-            self._evict(line_set)
-        line = _Line(addr=addr, category=category)
-        line_set[addr] = line
-        self.occupancy[category] += 1
-        return line
-
-    def _evict(self, line_set: Dict[int, _Line]) -> None:
-        """Evict the lowest-priority line, SRRIP-aged among ties."""
-        victim = None
-        min_priority = _PRIORITY_MAX + 1
-        max_rrpv = -1
-        for line in line_set.values():
-            priority = line.priority
-            if priority < min_priority:
-                min_priority = priority
-                max_rrpv = line.rrpv
-                victim = line
-            elif priority == min_priority and line.rrpv > max_rrpv:
-                max_rrpv = line.rrpv
-                victim = line
-        if victim.rrpv < _RRPV_MAX:
-            # Age all tied candidates so the victim reaches RRPV max,
-            # as SRRIP would by repeated aging sweeps.
-            aging = _RRPV_MAX - victim.rrpv
-            for line in line_set.values():
-                if line.priority == min_priority:
-                    new_rrpv = line.rrpv + aging
-                    line.rrpv = new_rrpv if new_rrpv < _RRPV_MAX else _RRPV_MAX
-        if victim.dirty:
-            self.stats.dirty_evictions += 1
-        else:
-            self.stats.clean_evictions += 1
-        self.occupancy[victim.category] -= 1
-        del line_set[victim.addr]
-        self._last_victim = victim
+        slot = self._slot_of.pop(addr, None)
+        if slot is not None:
+            self.occupancy[_CATEGORIES[self._cat[slot]]] -= 1
+            self._tags[slot] = -1
+            self._fill[slot // self.num_ways] -= 1
 
     @property
     def last_victim_category(self) -> Optional[str]:
-        victim = getattr(self, "_last_victim", None)
-        return victim.category if victim is not None else None
+        victim = self._last_victim
+        return victim[1] if victim is not None else None
 
     @property
     def last_victim_was_dirty(self) -> bool:
-        victim = getattr(self, "_last_victim", None)
-        return bool(victim is not None and victim.dirty)
+        victim = self._last_victim
+        return bool(victim is not None and victim[2])
 
     @property
     def last_victim_addr(self) -> Optional[int]:
-        victim = getattr(self, "_last_victim", None)
-        return victim.addr if victim is not None else None
+        victim = self._last_victim
+        return victim[0] if victim is not None else None
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def contains(self, addr: int) -> bool:
-        return addr in self._sets[addr % self.num_sets]
+        return addr in self._slot_of
 
-    def line_state(self, addr: int) -> Optional[_Line]:
-        return self._sets[addr % self.num_sets].get(addr)
+    def line_state(self, addr: int) -> Optional[LineView]:
+        slot = self._slot_of.get(addr)
+        if slot is None:
+            return None
+        return LineView(
+            addr=addr,
+            category=_CATEGORIES[self._cat[slot]],
+            priority=self._prio[slot],
+            rrpv=self._rrpv[slot],
+            dirty=bool(self._dirty[slot]),
+        )
+
+    def set_arrays(self) -> Dict[str, "object"]:
+        """The cache state as per-set NumPy arrays, shape (sets, ways).
+
+        Way order within a set is storage order, not replacement order
+        (replacement order is priority / RRPV / the ``seq`` array).
+        Invalid ways have tag -1. Used by the lockstep tests and the
+        observability layer; building the arrays is O(capacity), so this
+        is not a hot-path call.
+        """
+        import numpy as np
+
+        shape = (self.num_sets, self.num_ways)
+        return {
+            "tags": np.asarray(self._tags, dtype=np.int64).reshape(shape),
+            "priority": np.asarray(self._prio, dtype=np.int64).reshape(shape),
+            "rrpv": np.asarray(self._rrpv, dtype=np.int64).reshape(shape),
+            "dirty": np.asarray(self._dirty, dtype=bool).reshape(shape),
+            "category": np.asarray(self._cat, dtype=np.int8).reshape(shape),
+            "seq": np.asarray(self._seq, dtype=np.int64).reshape(shape),
+        }
 
     @property
     def resident_lines(self) -> int:
@@ -329,9 +589,10 @@ class FiberCache:
         """Record a utilization sample (time-weighted, Figs. 14/18)."""
         if weight <= 0:
             return
-        snapshot = self.utilization()
-        self._utilization_weighted["B"] += snapshot["B"] * weight
-        self._utilization_weighted["partial"] += snapshot["partial"] * weight
+        total = self.total_lines
+        weighted = self._utilization_weighted
+        weighted["B"] += self.occupancy["B"] / total * weight
+        weighted["partial"] += self.occupancy["partial"] / total * weight
         self._utilization_weight += weight
 
     def average_utilization(self) -> Dict[str, float]:

@@ -1,0 +1,257 @@
+"""Scalar reference model for the FiberCache (the lockstep oracle).
+
+This is the original dict-of-sets, one-Python-call-per-line FiberCache
+implementation, kept verbatim as the authoritative statement of the
+replacement semantics (fetch++/read-- priority counters, SRRIP
+tie-break aging, insertion-order victim selection). The production
+:class:`repro.core.fibercache.FiberCache` re-represents the same state
+as set-major slot arrays and processes whole address ranges per call;
+the Hypothesis lockstep suite (tests/test_fibercache_lockstep.py)
+replays random operation sequences against both and requires identical
+stats, occupancy, miss lines, per-bank tables, residency, per-line
+replacement state, and eviction victims at every step.
+
+When changing cache semantics: change *this* model first (it is the
+easiest to reason about), then make the batched implementation match.
+See docs/architecture.md §10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import GammaConfig
+from repro.core.fibercache import (
+    _PRIORITY_MAX,
+    _RRPV_INSERT,
+    _RRPV_MAX,
+    CacheStats,
+)
+
+
+class _Line:
+    """One resident cache line."""
+
+    __slots__ = ("addr", "category", "priority", "rrpv", "dirty")
+
+    def __init__(self, addr: int, category: str) -> None:
+        self.addr = addr
+        self.category = category
+        self.priority = 0
+        self.rrpv = _RRPV_INSERT
+        self.dirty = False
+
+
+class ReferenceFiberCache:
+    """Dict-of-sets scalar FiberCache: slow, obviously-correct oracle."""
+
+    def __init__(self, config: GammaConfig) -> None:
+        self.config = config
+        self.num_sets = config.fibercache_sets
+        self.num_ways = config.fibercache_ways
+        self._sets: List[Dict[int, _Line]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+        self.miss_lines = {"B": 0, "partial": 0}
+        self.occupancy = {"B": 0, "partial": 0}
+        self.bank_accesses = [0] * config.fibercache_banks
+        self.bank_hits = [0] * config.fibercache_banks
+        self.bank_misses = [0] * config.fibercache_banks
+        self._last_victim: Optional[_Line] = None
+
+    # ------------------------------------------------------------------
+    # Scalar primitives (the semantic ground truth)
+    # ------------------------------------------------------------------
+    def fetch(self, addr: int, category: str = "B") -> bool:
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        bank = addr % len(self.bank_accesses)
+        self.bank_accesses[bank] += 1
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.get(addr)
+        if line is not None:
+            self.stats.fetch_hits += 1
+            self.bank_hits[bank] += 1
+            if line.priority < _PRIORITY_MAX:
+                line.priority += 1
+            line.rrpv = 0
+            return False
+        self.stats.fetch_misses += 1
+        self.bank_misses[bank] += 1
+        self.miss_lines[category] += 1
+        line = self._install(addr, category)
+        line.priority = 1
+        return True
+
+    def read(self, addr: int, category: str = "B") -> bool:
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        bank = addr % len(self.bank_accesses)
+        self.bank_accesses[bank] += 1
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.get(addr)
+        if line is not None:
+            self.stats.read_hits += 1
+            self.bank_hits[bank] += 1
+            if line.priority > 0:
+                line.priority -= 1
+            line.rrpv = 0
+            return False
+        self.stats.read_misses += 1
+        self.bank_misses[bank] += 1
+        self.miss_lines[category] += 1
+        line = self._install(addr, category)
+        line.priority = 0
+        return True
+
+    def write(self, addr: int, category: str = "partial") -> None:
+        if category not in self.occupancy:
+            raise ValueError(f"unknown line category {category!r}")
+        self.bank_accesses[addr % len(self.bank_accesses)] += 1
+        self.stats.writes += 1
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.get(addr)
+        if line is None:
+            line = self._install(addr, category)
+        line.dirty = True
+        line.rrpv = 0
+
+    def consume(self, addr: int) -> bool:
+        bank = addr % len(self.bank_accesses)
+        self.bank_accesses[bank] += 1
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.pop(addr, None)
+        if line is not None:
+            self.stats.consume_hits += 1
+            self.bank_hits[bank] += 1
+            self.occupancy[line.category] -= 1
+            return False
+        self.stats.consume_misses += 1
+        self.bank_misses[bank] += 1
+        self.miss_lines["partial"] += 1
+        return True
+
+    def invalidate(self, addr: int) -> None:
+        line_set = self._sets[addr % self.num_sets]
+        line = line_set.pop(addr, None)
+        if line is not None:
+            self.occupancy[line.category] -= 1
+
+    # ------------------------------------------------------------------
+    # Range primitives: the batched calls, defined by per-line replay
+    # ------------------------------------------------------------------
+    def fetch_range(self, lo: int, hi: int,
+                    category: str = "B") -> Tuple[int, int]:
+        dirty_before = self.stats.dirty_evictions
+        misses = 0
+        for addr in range(lo, hi):
+            if self.fetch(addr, category):
+                misses += 1
+        return misses, self.stats.dirty_evictions - dirty_before
+
+    def read_range(self, lo: int, hi: int,
+                   category: str = "B") -> Tuple[int, int]:
+        dirty_before = self.stats.dirty_evictions
+        misses = 0
+        for addr in range(lo, hi):
+            if self.read(addr, category):
+                misses += 1
+        return misses, self.stats.dirty_evictions - dirty_before
+
+    def fetch_read_range(self, lo: int, hi: int,
+                         category: str = "B") -> Tuple[int, int]:
+        m1, d1 = self.fetch_range(lo, hi, category)
+        m2, d2 = self.read_range(lo, hi, category)
+        return m1 + m2, d1 + d2
+
+    def write_range(self, lo: int, hi: int,
+                    category: str = "partial") -> Tuple[int, int]:
+        dirty_before = self.stats.dirty_evictions
+        for addr in range(lo, hi):
+            self.write(addr, category)
+        return 0, self.stats.dirty_evictions - dirty_before
+
+    def consume_range(self, lo: int, hi: int) -> Tuple[int, int]:
+        misses = 0
+        for addr in range(lo, hi):
+            if self.consume(addr):
+                misses += 1
+        return misses, 0
+
+    # ------------------------------------------------------------------
+    # Replacement
+    # ------------------------------------------------------------------
+    def _install(self, addr: int, category: str) -> _Line:
+        line_set = self._sets[addr % self.num_sets]
+        if len(line_set) >= self.num_ways:
+            self._evict(line_set)
+        line = _Line(addr=addr, category=category)
+        line_set[addr] = line
+        self.occupancy[category] += 1
+        return line
+
+    def _evict(self, line_set: Dict[int, _Line]) -> None:
+        """Evict the lowest-priority line, SRRIP-aged among ties.
+
+        Ties on (priority, rrpv) resolve to the earliest-installed line:
+        dict iteration follows insertion order, and only a strictly
+        better candidate displaces the current victim.
+        """
+        victim = None
+        min_priority = _PRIORITY_MAX + 1
+        max_rrpv = -1
+        for line in line_set.values():
+            priority = line.priority
+            if priority < min_priority:
+                min_priority = priority
+                max_rrpv = line.rrpv
+                victim = line
+            elif priority == min_priority and line.rrpv > max_rrpv:
+                max_rrpv = line.rrpv
+                victim = line
+        if victim.rrpv < _RRPV_MAX:
+            aging = _RRPV_MAX - victim.rrpv
+            for line in line_set.values():
+                if line.priority == min_priority:
+                    new_rrpv = line.rrpv + aging
+                    line.rrpv = new_rrpv if new_rrpv < _RRPV_MAX else _RRPV_MAX
+        if victim.dirty:
+            self.stats.dirty_evictions += 1
+        else:
+            self.stats.clean_evictions += 1
+        self.occupancy[victim.category] -= 1
+        del line_set[victim.addr]
+        self._last_victim = victim
+
+    @property
+    def last_victim_category(self) -> Optional[str]:
+        victim = self._last_victim
+        return victim.category if victim is not None else None
+
+    @property
+    def last_victim_was_dirty(self) -> bool:
+        victim = self._last_victim
+        return bool(victim is not None and victim.dirty)
+
+    @property
+    def last_victim_addr(self) -> Optional[int]:
+        victim = self._last_victim
+        return victim.addr if victim is not None else None
+
+    # ------------------------------------------------------------------
+    # Introspection (the slice the lockstep tests compare)
+    # ------------------------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        return addr in self._sets[addr % self.num_sets]
+
+    def line_state(self, addr: int) -> Optional[_Line]:
+        return self._sets[addr % self.num_sets].get(addr)
+
+    @property
+    def resident_lines(self) -> int:
+        return self.occupancy["B"] + self.occupancy["partial"]
+
+    @property
+    def total_lines(self) -> int:
+        return self.num_sets * self.num_ways

@@ -16,7 +16,6 @@ Two models are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.accumulator import Accumulator
@@ -28,9 +27,11 @@ from repro.matrices.fiber import Fiber, linear_combine
 _STANDALONE_FILL = 6
 
 
-@dataclass(frozen=True)
 class PEResult:
     """Outcome of one PE pass.
+
+    A ``__slots__`` class rather than a dataclass: one is built per task
+    (millions per sweep point), so construction is on the hot path.
 
     Attributes:
         output: The produced (partial or final) output fiber.
@@ -41,9 +42,23 @@ class PEResult:
         multiplies: Scaling multiplications performed (= input elements).
     """
 
-    output: Fiber
-    cycles: int
-    multiplies: int
+    __slots__ = ("output", "cycles", "multiplies")
+
+    def __init__(self, output: Fiber, cycles: int, multiplies: int) -> None:
+        self.output = output
+        self.cycles = cycles
+        self.multiplies = multiplies
+
+    def __repr__(self) -> str:
+        return (f"PEResult(output={self.output!r}, cycles={self.cycles}, "
+                f"multiplies={self.multiplies})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PEResult):
+            return NotImplemented
+        return (self.output == other.output
+                and self.cycles == other.cycles
+                and self.multiplies == other.multiplies)
 
     @property
     def unpipelined_cycles(self) -> int:
@@ -74,12 +89,10 @@ class ProcessingElement:
         """
         self._check_radix(fibers)
         output = linear_combine(fibers, scales, semiring=semiring)
-        total_in = sum(len(f) for f in fibers)
-        return PEResult(
-            output=output,
-            cycles=max(1, total_in),
-            multiplies=total_in,
-        )
+        total_in = 0
+        for f in fibers:
+            total_in += len(f.coords)
+        return PEResult(output, max(1, total_in), total_in)
 
     def combine_detailed(
         self, fibers: Sequence[Fiber], scales: Sequence[float],

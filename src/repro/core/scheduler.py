@@ -195,8 +195,15 @@ class Scheduler:
         del self._row_parts_seen[row]
 
     def _register_tasks(self, tree: Sequence[Task]) -> None:
+        push = heapq.heappush
+        ready = self._ready
         for task in tree:
             self.tasks_created += 1
+            if task.level == 0:
+                # Leaves consume only B rows (build_task_tree invariant),
+                # so they are dispatchable immediately; skip the dep scan.
+                push(ready, ((task.row_order, 0, task.task_id), task))
+                continue
             deps = [
                 inp.index for inp in task.inputs
                 if inp.kind == "partial" and inp.index not in self._completed

@@ -145,6 +145,9 @@ class _RunState:
         self.partial_fibers: Dict[int, Fiber] = {}
         self.partial_lines: Dict[int, Tuple[int, int]] = {}
         self._partial_cursor = _PARTIAL_BASE_LINE
+        #: B rows are re-touched by many tasks; memoize the Fiber view and
+        #: line range per row for the run instead of re-slicing per touch.
+        self._b_rows: Dict[int, Tuple[Fiber, int, int]] = {}
         self.output_rows: Dict[int, Fiber] = {}
         self.pe_busy = 0.0
         self.flops = 0
@@ -240,44 +243,50 @@ class _RunState:
     def _execute_task(self, task: Task) -> float:
         self.num_tasks += 1
         pe = self._pick_pe(task)
-        deps_ready = 0.0
-        for inp in task.inputs:
-            if inp.kind == "partial":
-                deps_ready = max(deps_ready, self.finish_time[inp.index])
-        start = max(self.pe_free_times[pe], deps_ready)
 
         # --- gather input fibers and stream them through the FiberCache ---
+        # One pass over the inputs: dependency readiness, fiber views, and
+        # one batched cache call per input (see docs/architecture.md §10 —
+        # no per-line Python calls here).
         fibers: List[Fiber] = []
         scales: List[float] = []
-        data_ready = start
-        b_miss_before = self.cache.miss_lines["B"]
-        partial_miss_before = self.cache.miss_lines["partial"]
-        dirty_before = self.cache.stats.dirty_evictions
+        cache = self.cache
+        b_rows = self._b_rows
+        deps_ready = 0.0
+        b_miss_lines = 0
+        partial_miss_lines = 0
+        dirty_evictions = 0
         for inp in task.inputs:
             if inp.kind == "B":
-                fiber = self.b.row(inp.index)
-                lo, hi = self._b_row_lines(inp.index)
-                for addr in range(lo, hi):
-                    self.cache.fetch(addr, "B")
-                for addr in range(lo, hi):
-                    self.cache.read(addr, "B")
+                row = inp.index
+                cached = b_rows.get(row)
+                if cached is None:
+                    lo, hi = self._b_row_lines(row)
+                    cached = (self.b.row(row), lo, hi)
+                    b_rows[row] = cached
+                fiber, lo, hi = cached
+                misses, dirty = cache.fetch_read_range(lo, hi, "B")
+                b_miss_lines += misses
+                dirty_evictions += dirty
+                scales.append(inp.scale)
             else:
+                finish = self.finish_time[inp.index]
+                if finish > deps_ready:
+                    deps_ready = finish
                 fiber = self.partial_fibers.pop(inp.index)
                 lo, hi = self.partial_lines.pop(inp.index)
-                for addr in range(lo, hi):
-                    self.cache.consume(addr)
+                misses, _ = cache.consume_range(lo, hi)
+                partial_miss_lines += misses
                 self.scheduler.partial_consumed()
+                if self.semiring is not None:
+                    # Partial fibers pass through unscaled: the semiring's
+                    # multiplicative identity, not necessarily 1.0.
+                    scales.append(self.semiring.one)
+                else:
+                    scales.append(inp.scale)
             fibers.append(fiber)
-            if inp.kind == "partial" and self.semiring is not None:
-                # Partial fibers pass through unscaled: the semiring's
-                # multiplicative identity, not necessarily 1.0.
-                scales.append(self.semiring.one)
-            else:
-                scales.append(inp.scale)
-        b_miss_lines = self.cache.miss_lines["B"] - b_miss_before
-        partial_miss_lines = (
-            self.cache.miss_lines["partial"] - partial_miss_before
-        )
+        start = max(self.pe_free_times[pe], deps_ready)
+        data_ready = start
         if b_miss_lines:
             data_ready = max(data_ready, self.memory.request(
                 "B", b_miss_lines * LINE_BYTES, start))
@@ -309,12 +318,11 @@ class _RunState:
             lines = self._allocate_partial_lines(len(output))
             self.partial_fibers[task.task_id] = output
             self.partial_lines[task.task_id] = lines
-            for addr in range(lines[0], lines[1]):
-                self.cache.write(addr, "partial")
-        dirty_delta = self.cache.stats.dirty_evictions - dirty_before
-        if dirty_delta:
+            _, dirty = self.cache.write_range(lines[0], lines[1], "partial")
+            dirty_evictions += dirty
+        if dirty_evictions:
             self.memory.request(
-                "partial_write", dirty_delta * LINE_BYTES, finish)
+                "partial_write", dirty_evictions * LINE_BYTES, finish)
 
         self.pe_free_times[pe] = finish
         if self.multi_pe:

@@ -16,9 +16,12 @@ from typing import List, Sequence, Tuple
 _task_ids = itertools.count()
 
 
-@dataclass
 class TaskInput:
     """One input fiber of a task.
+
+    A plain ``__slots__`` class rather than a dataclass: simulations
+    create one per consumed fiber (millions per sweep point), so
+    construction and attribute reads sit on the hot path.
 
     Attributes:
         kind: 'B' for a row of B, 'partial' for a child task's output.
@@ -26,13 +29,24 @@ class TaskInput:
         scale: Scaling factor — a_mk for B rows, 1.0 for partials (Sec. 3.1).
     """
 
-    kind: str
-    index: int
-    scale: float
+    __slots__ = ("kind", "index", "scale")
 
-    def __post_init__(self) -> None:
-        if self.kind not in ("B", "partial"):
-            raise ValueError(f"unknown input kind {self.kind!r}")
+    def __init__(self, kind: str, index: int, scale: float) -> None:
+        if kind != "B" and kind != "partial":
+            raise ValueError(f"unknown input kind {kind!r}")
+        self.kind = kind
+        self.index = index
+        self.scale = scale
+
+    def __repr__(self) -> str:
+        return (f"TaskInput(kind={self.kind!r}, index={self.index!r}, "
+                f"scale={self.scale!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskInput):
+            return NotImplemented
+        return (self.kind == other.kind and self.index == other.index
+                and self.scale == other.scale)
 
 
 @dataclass
@@ -110,6 +124,17 @@ def build_task_tree(
     if radix < 2:
         raise ValueError(f"radix must be >= 2, got {radix}")
 
+    # One bulk conversion instead of per-element int()/float() calls in
+    # the leaf loops (ndarray.tolist yields native Python scalars).
+    if hasattr(b_rows, "tolist"):
+        b_rows = b_rows.tolist()
+    else:
+        b_rows = [int(r) for r in b_rows]
+    if hasattr(scales, "tolist"):
+        scales = scales.tolist()
+    else:
+        scales = [float(s) for s in scales]
+
     tasks: List[Task] = []
 
     def build(lo: int, hi: int) -> Task:
@@ -121,7 +146,7 @@ def build_task_tree(
                 row=row,
                 level=0,
                 inputs=[
-                    TaskInput("B", int(b_rows[i]), float(scales[i]))
+                    TaskInput("B", b_rows[i], scales[i])
                     for i in range(lo, hi)
                 ],
                 is_final=False,
@@ -143,7 +168,7 @@ def build_task_tree(
             if size == 1:
                 # A single fiber feeds the parent's merger way directly.
                 direct_inputs.append(
-                    TaskInput("B", int(b_rows[cursor]), float(scales[cursor]))
+                    TaskInput("B", b_rows[cursor], scales[cursor])
                 )
             else:
                 children.append(build(cursor, cursor + size))

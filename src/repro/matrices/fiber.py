@@ -107,26 +107,34 @@ class Fiber:
         return Fiber(self.coords[keep], self.values[keep], check=False)
 
     def dot(self, other: "Fiber") -> float:
-        """Sparse dot product (the inner-product dataflow's intersection)."""
-        result = 0.0
-        i = j = 0
-        a_coords, a_values = self.coords, self.values
-        b_coords, b_values = other.coords, other.values
-        while i < len(a_coords) and j < len(b_coords):
-            ca, cb = a_coords[i], b_coords[j]
-            if ca == cb:
-                result += a_values[i] * b_values[j]
-                i += 1
-                j += 1
-            elif ca < cb:
-                i += 1
-            else:
-                j += 1
-        return result
+        """Sparse dot product (the inner-product dataflow's intersection).
+
+        Coordinates are strictly increasing, so the intersection comes
+        from one ``np.intersect1d`` call with indices; the products are
+        then summed left-to-right in coordinate order, bit-identical to
+        the classic two-pointer walk this replaces.
+        """
+        if not len(self.coords) or not len(other.coords):
+            return 0.0
+        _, ia, ib = np.intersect1d(
+            self.coords, other.coords,
+            assume_unique=True, return_indices=True,
+        )
+        if not len(ia):
+            return 0.0
+        return float(sum((self.values[ia] * other.values[ib]).tolist()))
 
 
 _EMPTY = Fiber(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64),
                check=False)
+
+
+def _make_fiber(coords: np.ndarray, values: np.ndarray) -> Fiber:
+    """Hot-path Fiber constructor: trusted pre-typed arrays, no checks."""
+    fiber = Fiber.__new__(Fiber)
+    fiber.coords = coords
+    fiber.values = values
+    return fiber
 
 
 def linear_combine(fibers: Sequence[Fiber],
@@ -155,47 +163,79 @@ def linear_combine(fibers: Sequence[Fiber],
             f"{len(fibers)} fibers but {len(scales)} scaling factors"
         )
     if semiring is not None and not semiring.is_arithmetic:
+        if (semiring.add_ufunc is not None
+                and sum(len(f.coords) for f in fibers)
+                >= _SEMIRING_VECTOR_MIN):
+            return _combine_semiring_vectorized(fibers, scales, semiring)
         return _combine_semiring(fibers, scales, semiring)
-    nonempty = [(f, s) for f, s in zip(fibers, scales) if len(f)]
+    nonempty = [(f, s) for f, s in zip(fibers, scales) if len(f.coords)]
     if not nonempty:
         return Fiber.empty()
     if len(nonempty) == 1:
         fiber, scale = nonempty[0]
         return fiber.scale(scale)
-    total = sum(len(f) for f, _ in nonempty)
-    if total <= 128:
+    total = sum(len(f.coords) for f, _ in nonempty)
+    if total <= _DICT_PATH_MAX:
         # Small merges (the common case for sparse rows) are faster with a
-        # plain dict accumulator than with numpy set machinery.
+        # plain dict accumulator than with numpy set machinery. Skipping
+        # the multiply at scale 1.0 (partial fibers) is bit-safe: IEEE
+        # 1.0 * x == x for every x.
         accumulator: dict = {}
+        get = accumulator.get
         for fiber, scale in nonempty:
             coords = fiber.coords.tolist()
             values = fiber.values.tolist()
-            for coord, value in zip(coords, values):
-                accumulator[coord] = (
-                    accumulator.get(coord, 0.0) + scale * value
-                )
+            if scale == 1.0:
+                for coord, value in zip(coords, values):
+                    accumulator[coord] = get(coord, 0.0) + value
+            else:
+                for coord, value in zip(coords, values):
+                    accumulator[coord] = get(coord, 0.0) + scale * value
         merged_coords = sorted(accumulator)
-        return Fiber(
+        return _make_fiber(
             np.asarray(merged_coords, dtype=np.int64),
-            np.asarray([accumulator[c] for c in merged_coords]),
-            check=False,
+            np.asarray([accumulator[c] for c in merged_coords],
+                       dtype=np.float64),
         )
+    # Large merges: stable-sort the concatenation, find group boundaries
+    # with one comparison pass (cheaper than np.unique's second sort), and
+    # reduce each coordinate group with np.bincount-over-inverse — the
+    # same per-coordinate left-to-right accumulation order as the dict
+    # path and the old np.add.at scatter, so results are bit-identical.
     all_coords = np.concatenate([f.coords for f, _ in nonempty])
     all_values = np.concatenate(
-        [f.values * s for f, s in nonempty]
+        [f.values if s == 1.0 else f.values * s for f, s in nonempty]
     )
     order = np.argsort(all_coords, kind="stable")
     sorted_coords = all_coords[order]
     sorted_values = all_values[order]
-    unique_coords, inverse = np.unique(sorted_coords, return_inverse=True)
-    summed = np.zeros(len(unique_coords), dtype=np.float64)
-    np.add.at(summed, inverse, sorted_values)
-    return Fiber(unique_coords, summed, check=False)
+    flags = np.empty(len(sorted_coords), dtype=bool)
+    flags[0] = True
+    np.not_equal(sorted_coords[1:], sorted_coords[:-1], out=flags[1:])
+    inverse = np.cumsum(flags)
+    inverse -= 1
+    summed = np.bincount(inverse, weights=sorted_values)
+    return _make_fiber(sorted_coords[flags], summed)
+
+
+#: Largest total element count routed to the dict accumulator; tuned
+#: against the array kernel on this interpreter (scripts/bench_hotpath.py
+#: tracks the crossover).
+_DICT_PATH_MAX = 48
+#: Smallest total element count routed to the reduceat kernel for
+#: non-arithmetic semirings (below it the scalar dict loop wins).
+_SEMIRING_VECTOR_MIN = 48
 
 
 def _combine_semiring(fibers: Sequence[Fiber], scales: Sequence[float],
                       semiring) -> Fiber:
-    """Generic linear combination under an arbitrary semiring."""
+    """Generic linear combination under an arbitrary semiring.
+
+    The scalar oracle: one ``mul`` per element, one ``add`` per duplicate
+    coordinate, folded in fiber order. Works for any semiring; the
+    vectorized kernel below must match it bit-for-bit whenever
+    ``add_ufunc`` is declared.
+    """
     accumulator: dict = {}
     add, mul = semiring.add, semiring.mul
     for fiber, scale in zip(fibers, scales):
@@ -212,3 +252,39 @@ def _combine_semiring(fibers: Sequence[Fiber], scales: Sequence[float],
         np.asarray([accumulator[c] for c in coords], dtype=np.float64),
         check=False,
     )
+
+
+def _combine_semiring_vectorized(fibers: Sequence[Fiber],
+                                 scales: Sequence[float],
+                                 semiring) -> Fiber:
+    """Array kernel for semirings whose ``add`` is a true ufunc.
+
+    Products come from one ``mul_array`` call per fiber; coordinate
+    groups of the stable-sorted concatenation are reduced with a single
+    ``add_ufunc.reduceat`` (e.g. ``np.minimum`` for tropical,
+    ``np.maximum`` as the any-reduction for boolean 0/1 values).
+    Group-internal order equals fiber order, so the fold sequence —
+    hence the result, bit-for-bit — matches ``_combine_semiring``.
+    """
+    mul_array = semiring.mul_array
+    coord_parts = []
+    value_parts = []
+    for fiber, scale in zip(fibers, scales):
+        if len(fiber.coords):
+            coord_parts.append(fiber.coords)
+            value_parts.append(np.asarray(
+                mul_array(scale, fiber.values), dtype=np.float64))
+    if not coord_parts:
+        return Fiber.empty()
+    all_coords = np.concatenate(coord_parts)
+    all_values = np.concatenate(value_parts)
+    order = np.argsort(all_coords, kind="stable")
+    sorted_coords = all_coords[order]
+    sorted_values = all_values[order]
+    flags = np.empty(len(sorted_coords), dtype=bool)
+    flags[0] = True
+    np.not_equal(sorted_coords[1:], sorted_coords[:-1], out=flags[1:])
+    starts = np.flatnonzero(flags)
+    reduced = semiring.add_ufunc.reduceat(sorted_values, starts)
+    return _make_fiber(sorted_coords[flags],
+                       np.asarray(reduced, dtype=np.float64))

@@ -32,6 +32,12 @@ class Semiring:
         one: Multiplicative identity.
         add_array / mul_array: Optional vectorized twins used by the fast
             path; default to a ufunc-style fallback over the scalar ops.
+        add_ufunc: Optional true NumPy ufunc equivalent to ``add`` (it must
+            support ``reduceat`` and produce bit-identical results to
+            folding ``add`` left-to-right). When set, ``linear_combine``
+            reduces coordinate groups with one ``add_ufunc.reduceat`` call
+            instead of the per-element scalar loop; when None, the scalar
+            dict path is the only one available for this semiring.
     """
 
     name: str
@@ -43,6 +49,7 @@ class Semiring:
         default=None)  # type: ignore[assignment]
     mul_array: Callable[[np.ndarray, np.ndarray], np.ndarray] = field(
         default=None)  # type: ignore[assignment]
+    add_ufunc: "np.ufunc" = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.add_array is None:
@@ -70,6 +77,7 @@ ARITHMETIC = Semiring(
     one=1.0,
     add_array=np.add,
     mul_array=np.multiply,
+    add_ufunc=np.add,
 )
 
 #: Boolean reachability: (or, and, False, True) over {0.0, 1.0}.
@@ -81,6 +89,10 @@ BOOLEAN = Semiring(
     one=1.0,
     add_array=lambda x, y: np.logical_or(x, y).astype(float),
     mul_array=lambda x, y: np.logical_and(x, y).astype(float),
+    # mul_array normalizes products to {0.0, 1.0}, so an any-reduction over
+    # a coordinate group is exactly np.maximum (bit-identical to the scalar
+    # `1.0 if (x or y) else 0.0` fold).
+    add_ufunc=np.maximum,
 )
 
 #: Tropical / shortest paths: (min, +, inf, 0).
@@ -92,6 +104,7 @@ TROPICAL_MIN = Semiring(
     one=0.0,
     add_array=np.minimum,
     mul_array=np.add,
+    add_ufunc=np.minimum,
 )
 
 #: Widest path / bottleneck: (max, min, -inf, inf).
@@ -103,6 +116,7 @@ MAX_MIN = Semiring(
     one=float("inf"),
     add_array=np.maximum,
     mul_array=np.minimum,
+    add_ufunc=np.maximum,
 )
 
 #: Maximum reliability: (max, x, 0, 1) over probabilities.
@@ -114,6 +128,7 @@ MAX_TIMES = Semiring(
     one=1.0,
     add_array=np.maximum,
     mul_array=np.multiply,
+    add_ufunc=np.maximum,
 )
 
 STANDARD_SEMIRINGS = {

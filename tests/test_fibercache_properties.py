@@ -4,7 +4,9 @@ The four primitives (fetch / read / write / consume) are interleaved in
 random orders over a tiny cache so evictions and re-installs happen
 constantly; structural invariants — bounded occupancy, non-negative
 bounded priority counters, residency postconditions, coherent counters —
-must hold at every step.
+must hold at every step. Everything is checked through the public
+surface (``set_arrays`` / ``line_state`` / counters), so these tests
+survive internal-representation changes like the batched array rewrite.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -47,15 +49,28 @@ def apply(cache, operation):
 
 def check_structure(cache):
     """Invariants that must hold after every single operation."""
+    arrays = cache.set_arrays()
+    tags = arrays["tags"]
+    priority = arrays["priority"]
+    rrpv = arrays["rrpv"]
+    category = arrays["category"]
     by_category = {"B": 0, "partial": 0}
-    for line_set in cache._sets:
-        assert len(line_set) <= cache.num_ways
-        for addr, line in line_set.items():
-            assert line.addr == addr
-            assert addr % cache.num_sets == cache._sets.index(line_set)
-            assert 0 <= line.priority <= _PRIORITY_MAX
-            assert 0 <= line.rrpv <= 3
-            by_category[line.category] += 1
+    assert tags.shape == (cache.num_sets, cache.num_ways)
+    for set_index in range(cache.num_sets):
+        for way in range(cache.num_ways):
+            addr = int(tags[set_index, way])
+            if addr < 0:
+                continue
+            assert addr % cache.num_sets == set_index
+            assert 0 <= priority[set_index, way] <= _PRIORITY_MAX
+            assert 0 <= rrpv[set_index, way] <= 3
+            by_category["B" if category[set_index, way] == 0 else
+                        "partial"] += 1
+            # line_state must agree with the exported arrays.
+            view = cache.line_state(addr)
+            assert view is not None and view.addr == addr
+            assert view.priority == priority[set_index, way]
+            assert view.rrpv == rrpv[set_index, way]
     assert cache.occupancy == by_category
     assert 0 <= cache.resident_lines <= cache.total_lines
 
@@ -126,3 +141,29 @@ class TestFiberCacheProperties:
             apply(cache, operation)
         assert cache.stats.dirty_evictions == 0
         assert cache.occupancy["partial"] == 0
+
+    @given(st.lists(st.tuples(ADDRESSES, st.integers(1, 20)),
+                    max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_range_primitives_preserve_invariants(self, ranges):
+        """The batched primitives uphold the same structural invariants."""
+        cache = FiberCache(TINY)
+        for step, (lo, span) in enumerate(ranges):
+            hi = lo + span
+            kind = step % 4
+            if kind == 0:
+                # Fetch + read passes: a range longer than a set's
+                # capacity can evict its own lines between the passes,
+                # so up to 2 * span misses are possible.
+                misses, dirty = cache.fetch_read_range(lo, hi, "B")
+                assert misses <= 2 * span and dirty >= 0
+                continue
+            if kind == 1:
+                misses, dirty = cache.write_range(lo, hi, "partial")
+            elif kind == 2:
+                misses, dirty = cache.consume_range(lo, hi)
+            else:
+                misses, dirty = cache.fetch_range(lo, hi, "B")
+            assert 0 <= misses <= span
+            assert dirty >= 0
+        check_structure(cache)
