@@ -10,6 +10,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== bytecode hygiene =="
+bytecode="$( { git ls-files; git diff --cached --name-only; } \
+    | grep -E '(^|/)__pycache__(/|$)|\.pyc$' | sort -u || true)"
+if [[ -n "$bytecode" ]]; then
+    echo "ERROR: compiled bytecode is tracked or staged:" >&2
+    echo "$bytecode" >&2
+    echo "unstage it (git rm -r --cached <path>); .gitignore covers" \
+         "__pycache__/ and *.pyc" >&2
+    exit 1
+fi
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks examples

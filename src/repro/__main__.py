@@ -61,11 +61,13 @@ def _cmd_sweep(args) -> int:
     from repro.engine import (
         DEFAULT_MODELS,
         DEFAULT_VARIANTS,
+        SweepPolicy,
         pending_points,
         plan_sweep,
         run_sweep,
     )
     from repro.matrices import suite
+    from repro.obs import MetricsRegistry
 
     if args.matrices:
         matrices = [name for token in args.matrices
@@ -121,20 +123,44 @@ def _cmd_sweep(args) -> int:
         print(f"  computed {label_of(point)}  "
               f"wall={wall_seconds:.2f}s  events={record.num_tasks}")
 
+    policy = SweepPolicy(timeout_seconds=args.timeout,
+                         max_retries=args.max_retries)
+    metrics = MetricsRegistry()
     sweep_start = time.perf_counter()
-    run_sweep(points, workers=args.workers, serial=args.serial,
-              on_result=progress, on_executed=executed)
+    result = run_sweep(points, workers=args.workers, serial=args.serial,
+                       on_result=progress, on_executed=executed,
+                       policy=policy, metrics=metrics,
+                       resume=args.resume)
     sweep_wall = time.perf_counter() - sweep_start
     from repro.engine import diskcache
     store = ("the disk cache" if diskcache.cache_enabled()
              else "memory only (disk cache disabled)")
-    summary = (f"sweep complete: {len(points)} records in {store}; "
-               f"wall {sweep_wall:.2f}s "
+    summary = (f"sweep complete: {len(result)}/{len(points)} records in "
+               f"{store}; wall {sweep_wall:.2f}s "
                f"({computed_wall['total']:.2f}s in computed points)")
+    fault_counts = {
+        name: int(value)
+        for name, value in sorted(
+            metrics.counters_with_prefix("sweep/").items())
+        if name in ("retries", "timeouts", "crashes", "errors",
+                    "quarantined") and value
+    }
+    if fault_counts:
+        summary += "; faults: " + ", ".join(
+            f"{name}={value}" for name, value in fault_counts.items())
     trajectory = _hotpath_trajectory()
     if trajectory:
         summary += f"; hot-path wall before/after: {trajectory}"
     print(summary)
+    if result.quarantined:
+        print(f"QUARANTINED {len(result.quarantined)} point(s) — "
+              "partial results; re-run with --resume to skip them, or "
+              "without it to retry:", file=sys.stderr)
+        for failure in result.quarantined.values():
+            print(f"  {failure.point.label()}  {failure.reason} "
+                  f"after {failure.attempts} attempts  {failure.error}",
+                  file=sys.stderr)
+        return 3
     return 0
 
 
@@ -245,6 +271,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_parser.add_argument(
         "--dry-run", action="store_true",
         help="plan and report, but run nothing")
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any point exceeding this wall clock "
+             "(parallel mode; default: no timeout)")
+    sweep_parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries (with exponential backoff) before a failing "
+             "point is quarantined (default: 2)")
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="pick up an interrupted sweep: skip cached results and "
+             "previously quarantined points instead of retrying them")
     profile_parser = sub.add_parser(
         "profile",
         help="run one point instrumented and print the cycle-level report")

@@ -9,8 +9,11 @@ The engine is the layer between the simulators (``repro.core``,
   ``run(a, b, config, **variant)`` interface;
 * :mod:`repro.engine.sweep` — cross-product planning and process-parallel
   execution with the disk cache as the shared result store;
-* :mod:`repro.engine.diskcache` — atomic, schema-versioned JSON cache;
-* :mod:`repro.engine.defaults` — the 1/64-scale experiment system.
+* :mod:`repro.engine.diskcache` — atomic, checksum-validated,
+  schema-versioned JSON cache;
+* :mod:`repro.engine.defaults` — the 1/64-scale experiment system;
+* :mod:`repro.engine.faults` — deterministic fault injection behind the
+  chaos test suite (no-op unless a plan is armed).
 """
 
 from repro.engine.defaults import (
@@ -34,8 +37,14 @@ from repro.engine.registry import (
 from repro.engine.sweep import (
     DEFAULT_MODELS,
     DEFAULT_VARIANTS,
+    PointFailure,
     SweepPoint,
+    SweepPointError,
+    SweepPolicy,
+    SweepResult,
+    clear_checkpoint,
     execute_point,
+    load_checkpoint,
     pending_points,
     plan_sweep,
     record_key,
@@ -45,6 +54,12 @@ from repro.engine.sweep import (
 __all__ = [
     "DEFAULT_MODELS",
     "DEFAULT_VARIANTS",
+    "PointFailure",
+    "SweepPointError",
+    "SweepPolicy",
+    "SweepResult",
+    "clear_checkpoint",
+    "load_checkpoint",
     "MODEL_SCALE",
     "Model",
     "PREPROCESS_VARIANTS",

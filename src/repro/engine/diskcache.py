@@ -13,6 +13,15 @@ concurrent sweep workers racing on the same key can never leave a torn or
 interleaved JSON entry — the last complete write wins (and both writers
 compute identical payloads anyway).
 
+Entries are checksum-validated: the stored JSON is an envelope
+``{"format": .., "checksum": sha256(payload-json), "payload": ..}``, and
+:func:`load` recomputes the digest on every read. An entry that fails to
+parse, carries the wrong envelope format, or whose digest mismatches —
+bit-rot, a torn write on a filesystem without atomic rename, a
+crashed-mid-write copy restored from backup — is *invalidated in place*
+(unlinked) and reported as a miss, so a corrupt entry costs one
+recomputation instead of silently poisoning every later sweep.
+
 Delete the directory (or set ``REPRO_NO_DISK_CACHE=1``) to force re-runs.
 """
 
@@ -28,6 +37,10 @@ from typing import Dict, Optional
 import repro
 from repro.engine.record import SCHEMA_VERSION
 from repro.matrices.generators import GENERATOR_VERSION
+
+#: Envelope layout version (independent of the record schema: the record
+#: schema versions *payloads*, this versions the on-disk wrapper).
+ENTRY_FORMAT = 1
 
 
 def cache_dir() -> pathlib.Path:
@@ -50,21 +63,57 @@ def cache_key(kind: str, **params) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
+def entry_path(key: str) -> pathlib.Path:
+    """Where a key's entry lives (used by fault injection and tests)."""
+    return cache_dir() / f"{key}.json"
+
+
 def contains(key: str) -> bool:
     """Whether a (well-formed or not) entry exists for this key."""
-    return cache_enabled() and (cache_dir() / f"{key}.json").exists()
+    return cache_enabled() and entry_path(key).exists()
+
+
+def payload_checksum(payload: Dict) -> str:
+    """The digest stored alongside (and validated against) a payload."""
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def invalidate(key: str) -> bool:
+    """Drop a key's entry (corrupt or stale); True when one was removed."""
+    try:
+        entry_path(key).unlink()
+        return True
+    except OSError:
+        return False
 
 
 def load(key: str) -> Optional[Dict]:
+    """Read and validate an entry; corrupt entries are invalidated.
+
+    Returns the payload, or None for a miss *or* any entry that fails
+    envelope/checksum validation (which is removed so the next writer
+    starts clean).
+    """
     if not cache_enabled():
         return None
-    path = cache_dir() / f"{key}.json"
-    if not path.exists():
-        return None
+    path = entry_path(key)
     try:
-        return json.loads(path.read_text())
-    except (json.JSONDecodeError, OSError):
+        envelope = json.loads(path.read_text())
+    except FileNotFoundError:
         return None
+    except (json.JSONDecodeError, OSError):
+        invalidate(key)
+        return None
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("format") != ENTRY_FORMAT
+        or "payload" not in envelope
+        or envelope.get("checksum") != payload_checksum(envelope["payload"])
+    ):
+        invalidate(key)
+        return None
+    return envelope["payload"]
 
 
 def store(key: str, payload: Dict) -> None:
@@ -72,12 +121,17 @@ def store(key: str, payload: Dict) -> None:
         return
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
+    envelope = {
+        "format": ENTRY_FORMAT,
+        "checksum": payload_checksum(payload),
+        "payload": payload,
+    }
     path = directory / f"{key}.json"
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{key}.", suffix=".tmp", dir=directory)
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(json.dumps(payload))
+            handle.write(json.dumps(envelope))
         os.replace(tmp_name, path)
     except BaseException:
         try:

@@ -1,0 +1,220 @@
+"""Deterministic fault injection for the sweep engine (test harness).
+
+The fault-tolerance machinery in :mod:`repro.engine.sweep` — per-point
+timeouts, bounded retries, quarantine, checksum-validated cache entries —
+is built test-first around this module: a *fault plan* describes, per
+sweep point, a failure to inject (worker crash, hard kill, hang,
+flaky-then-succeed error, corrupt cache write), and the chaos suite
+(``tests/test_chaos.py``) asserts the engine recovers with bit-identical
+results.
+
+Plans must work across process boundaries (sweep workers are separate
+processes), so a plan is a JSON file pointed to by the
+``REPRO_FAULT_PLAN`` environment variable, and per-fault trigger counts
+are tracked as marker files in a state directory next to the plan —
+``O_CREAT | O_EXCL`` claims make each trigger fire exactly once no matter
+which process evaluates the point, and no matter how many times a crashed
+attempt is retried.
+
+When ``REPRO_FAULT_PLAN`` is unset (production), every hook is a single
+``os.environ.get`` returning immediately — sweeps pay nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+#: Environment variable holding the path of the active fault-plan file.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Supported injection kinds.
+FAULT_KINDS = ("crash", "kill", "hang", "flaky", "corrupt_cache")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by 'crash' and 'flaky' faults inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable failure, matched against sweep points by label.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`:
+            ``crash``  — raise :class:`InjectedFault` before evaluating;
+            ``kill``   — ``os._exit(17)`` (hard worker death, no Python
+                         cleanup, exactly what a segfault looks like to
+                         the parent);
+            ``hang``   — sleep ``hang_seconds`` before evaluating (long
+                         enough that a per-point timeout must fire);
+            ``flaky``  — like ``crash`` but bounded by ``times``: the
+                         point succeeds once its trigger budget is spent;
+            ``corrupt_cache`` — evaluate normally, then truncate the
+                         point's freshly written disk-cache entry.
+        model / matrix: Point labels to match (exact).
+        variant: Optional variant match; None matches any variant.
+        times: How many attempts trigger the fault before it disarms.
+        hang_seconds: Sleep length for ``hang``.
+    """
+
+    kind: str
+    model: str
+    matrix: str
+    variant: Optional[str] = None
+    times: int = 1
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+
+    def matches(self, model: str, matrix: str, variant: str) -> bool:
+        return (self.model == model and self.matrix == matrix
+                and (self.variant is None or self.variant == variant))
+
+
+class FaultPlan:
+    """A set of specs plus the cross-process trigger-count state dir."""
+
+    def __init__(self, specs: List[FaultSpec],
+                 state_dir: pathlib.Path) -> None:
+        self.specs = list(specs)
+        self.state_dir = pathlib.Path(state_dir)
+
+    # -- (de)serialization ----------------------------------------------
+    def save(self, path: pathlib.Path) -> None:
+        path = pathlib.Path(path)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "state_dir": str(self.state_dir),
+            "specs": [dataclasses.asdict(s) for s in self.specs],
+        }))
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "FaultPlan":
+        data = json.loads(pathlib.Path(path).read_text())
+        return cls([FaultSpec(**spec) for spec in data["specs"]],
+                   pathlib.Path(data["state_dir"]))
+
+    # -- trigger accounting ---------------------------------------------
+    def _claim(self, spec_index: int) -> bool:
+        """Atomically claim one trigger of a spec; False when exhausted.
+
+        The n-th trigger is the exclusive creation of marker file
+        ``<spec_index>.<n>``; losing every race up to ``times`` means the
+        budget is spent and the fault no longer fires.
+        """
+        spec = self.specs[spec_index]
+        for attempt in range(spec.times):
+            marker = self.state_dir / f"{spec_index}.{attempt}"
+            try:
+                fd = os.open(str(marker),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def triggered(self, spec_index: int) -> int:
+        """How many times a spec has fired so far (test introspection)."""
+        spec = self.specs[spec_index]
+        return sum(
+            1 for attempt in range(spec.times)
+            if (self.state_dir / f"{spec_index}.{attempt}").exists()
+        )
+
+    def _armed(self, model: str, matrix: str,
+               variant: str) -> Iterator[int]:
+        for index, spec in enumerate(self.specs):
+            if spec.matches(model, matrix, variant):
+                yield index
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULT_PLAN``, or None (the fast path)."""
+    path = os.environ.get(PLAN_ENV, "")
+    if not path:
+        return None
+    try:
+        return FaultPlan.load(pathlib.Path(path))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def install_plan(specs: List[FaultSpec],
+                 directory: pathlib.Path) -> pathlib.Path:
+    """Write a plan under ``directory`` and activate it via the env var.
+
+    Returns the plan path; callers (tests) clear :data:`PLAN_ENV` to
+    disarm. Worker processes inherit the environment, so the plan is
+    visible to the whole sweep.
+    """
+    directory = pathlib.Path(directory)
+    plan_path = directory / "fault_plan.json"
+    plan = FaultPlan(specs, directory / "fault_state")
+    plan.save(plan_path)
+    os.environ[PLAN_ENV] = str(plan_path)
+    return plan_path
+
+
+def clear_plan() -> None:
+    os.environ.pop(PLAN_ENV, None)
+
+
+# ----------------------------------------------------------------------
+# Hooks called by the sweep engine
+# ----------------------------------------------------------------------
+def on_point_start(model: str, matrix: str, variant: str) -> None:
+    """Injection hook at the top of point evaluation.
+
+    Fires at most one armed crash/kill/hang/flaky spec (claiming one
+    trigger); disarmed or exhausted specs are no-ops.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for index in plan._armed(model, matrix, variant):
+        spec = plan.specs[index]
+        if spec.kind == "corrupt_cache" or not plan._claim(index):
+            continue
+        if spec.kind == "kill":
+            os._exit(17)
+        if spec.kind == "hang":
+            time.sleep(spec.hang_seconds)
+            return
+        raise InjectedFault(
+            f"injected {spec.kind} for {model}:{matrix}:{variant}")
+
+
+def corrupt_cache_path(model: str, matrix: str, variant: str,
+                       path: pathlib.Path) -> bool:
+    """Injection hook after a point's cache entry is written.
+
+    An armed ``corrupt_cache`` spec truncates the entry mid-JSON —
+    modelling bit-rot or a torn write on a filesystem without atomic
+    rename — so the checksum validation in
+    :mod:`repro.engine.diskcache` must catch it on the next load.
+    Returns True when corruption was applied.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    for index in plan._armed(model, matrix, variant):
+        spec = plan.specs[index]
+        if spec.kind != "corrupt_cache" or not plan._claim(index):
+            continue
+        try:
+            raw = path.read_text()
+        except OSError:
+            return False
+        path.write_text(raw[: max(1, len(raw) // 2)])
+        return True
+    return False

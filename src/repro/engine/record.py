@@ -170,6 +170,23 @@ class RunRecord:
         params.pop("num_rows", None)
         return cls(**params)
 
+    def fingerprint(self) -> str:
+        """Stable digest of the record's behavioral content.
+
+        Hashes the canonical JSON payload minus the ``metrics`` blob
+        (instrumentation detail, not behavior). Two runs of the same
+        point are bit-identical exactly when their fingerprints match —
+        the equality the chaos suite and the golden-fingerprint
+        regression test pin.
+        """
+        import hashlib
+        import json
+
+        payload = self.to_payload()
+        payload.pop("metrics", None)
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
     # -- derived metrics (superset of both legacy result types) ---------
     @property
     def total_traffic(self) -> int:

@@ -1,37 +1,75 @@
-"""Sweep planner and process-parallel executor.
+"""Sweep planner and fault-tolerant process-parallel executor.
 
 The paper's figures are a cross-product — models x matrices x
 preprocessing variants x hardware configs (Figs. 10-25) — and each point
 is independent, so the sweep engine enumerates them as
 :class:`SweepPoint` values, skips the ones already in the disk cache, and
-executes the misses with a ``ProcessPoolExecutor``. The disk cache is the
-cross-process result store: workers write records atomically (see
-:mod:`repro.engine.diskcache`), so a crashed or raced sweep never leaves
-torn entries and a re-run only pays for what is missing.
+executes the misses across worker processes. The disk cache is the
+cross-process result store: workers write records atomically and
+checksum-validated (see :mod:`repro.engine.diskcache`), so a crashed or
+raced sweep never leaves torn entries and a re-run only pays for what is
+missing.
+
+Campaign-scale sweeps (thousands of points) cannot afford one bad point
+taking the run down, so execution is governed by a :class:`SweepPolicy`:
+
+* **timeouts** — a point that exceeds ``timeout_seconds`` has its worker
+  process killed (the only reliable cancellation for a hung or wedged
+  native call) and the slot respawned;
+* **bounded retries** — failed attempts (crash, hard worker death,
+  timeout, exception) are retried up to ``max_retries`` times with
+  exponential backoff and deterministic jitter;
+* **quarantine** — a point that exhausts its retries is quarantined with
+  its failure history and the sweep *completes*, returning partial
+  results (:class:`SweepResult`) instead of aborting;
+* **checkpoint/resume** — progress and quarantine state persist through
+  the disk cache, so an interrupted sweep resumed with ``resume=True``
+  (CLI ``--resume``) recomputes nothing already cached and does not
+  re-burn retries on points already known bad.
 
 ``execute_point`` is the single entry point for evaluating one point; the
 serial facade (:class:`repro.experiments.ExperimentRunner`) and the
-parallel workers both go through it, which is what makes parallel
-pre-warming produce byte-identical figures to a cold serial run.
+parallel workers both go through it, which is what makes parallel,
+retried, or resumed execution produce byte-identical records to a cold
+serial run — the guarantee the chaos suite (``tests/test_chaos.py``)
+enforces under injected faults.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import heapq
+import itertools
+import multiprocessing
+import multiprocessing.connection
 import os
+import random
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.config import CpuConfig, GammaConfig
-from repro.engine import diskcache
+from repro.engine import diskcache, faults
 from repro.engine.defaults import (
     PREPROCESS_VARIANTS,
     preprocess_config_key,
     preprocess_options,
 )
-from repro.engine.record import RunRecord
+from repro.engine.record import (
+    RunRecord,
+    _config_from_payload,
+    _config_payload,
+)
 from repro.engine.registry import available_models, default_config_for, get_model
 
 #: Models evaluated by the paper's headline figures (MatRaptor is an
@@ -60,6 +98,13 @@ class SweepPoint:
     def resolved_config(self) -> Union[GammaConfig, CpuConfig]:
         return self.config or default_config_for(self.model)
 
+    def label(self) -> str:
+        """Human-readable point name used in logs and failure reports."""
+        text = f"{self.model}:{self.matrix}"
+        if self.model == "gamma":
+            text += f":{self.variant}"
+        return text
+
 
 def record_key(point: SweepPoint) -> str:
     """The disk-cache key of a point's :class:`RunRecord`."""
@@ -73,6 +118,133 @@ def record_key(point: SweepPoint) -> str:
         config_kind=type(config).__name__,
         multi_pe=point.multi_pe if point.model == "gamma" else True,
     )
+
+
+def point_to_payload(point: SweepPoint) -> Dict:
+    """JSON-compatible form of a point (checkpoint serialization)."""
+    return {
+        "model": point.model,
+        "matrix": point.matrix,
+        "variant": point.variant,
+        "config": _config_payload(point.config),
+        "multi_pe": point.multi_pe,
+    }
+
+
+def point_from_payload(payload: Dict) -> SweepPoint:
+    return SweepPoint(
+        model=payload["model"],
+        matrix=payload["matrix"],
+        variant=payload.get("variant", "none"),
+        config=_config_from_payload(payload.get("config")),
+        multi_pe=payload.get("multi_pe", True),
+    )
+
+
+# ----------------------------------------------------------------------
+# Failure policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPolicy:
+    """How a sweep responds to failing points.
+
+    Attributes:
+        timeout_seconds: Kill a worker whose point exceeds this wall
+            clock (None disables; serial mode cannot cancel and ignores
+            it). The killed attempt counts as a failure and retries.
+        max_retries: Additional attempts after the first failure before a
+            point is quarantined.
+        backoff_base_seconds: First retry delay; attempt ``n`` waits
+            ``base * 2**n``, capped at ``backoff_max_seconds``.
+        backoff_max_seconds: Ceiling on any single retry delay.
+        jitter_fraction: Each delay is stretched by up to this fraction,
+            *deterministically* seeded from (point key, attempt) so runs
+            remain reproducible while concurrent retries still spread out.
+        fail_fast: Raise :class:`SweepPointError` on the first quarantine
+            instead of completing with partial results (the pre-PR-4
+            behavior, useful in tests that want hard failures).
+    """
+
+    timeout_seconds: Optional[float] = None
+    max_retries: int = 2
+    backoff_base_seconds: float = 0.5
+    backoff_max_seconds: float = 30.0
+    jitter_fraction: float = 0.25
+    fail_fast: bool = False
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """The wait before retry ``attempt`` (0-based) of point ``key``."""
+        base = min(self.backoff_base_seconds * (2 ** attempt),
+                   self.backoff_max_seconds)
+        seed = int.from_bytes(
+            hashlib.sha256(f"{key}:{attempt}".encode()).digest()[:8], "big")
+        jitter = random.Random(seed).random() * self.jitter_fraction
+        return base * (1.0 + jitter)
+
+
+@dataclass
+class PointFailure:
+    """Why a point was quarantined (or is being retried)."""
+
+    point: SweepPoint
+    attempts: int
+    reason: str  # 'crash' | 'timeout' | 'error' | 'previous-run'
+    error: str = ""
+
+    def to_payload(self) -> Dict:
+        return {
+            "point": point_to_payload(self.point),
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "PointFailure":
+        return cls(
+            point=point_from_payload(payload["point"]),
+            attempts=payload["attempts"],
+            reason=payload["reason"],
+            error=payload.get("error", ""),
+        )
+
+
+class SweepPointError(RuntimeError):
+    """Raised under ``fail_fast`` when a point exhausts its retries."""
+
+    def __init__(self, failure: PointFailure) -> None:
+        super().__init__(
+            f"sweep point {failure.point.label()} failed "
+            f"({failure.reason}) after {failure.attempts} attempts: "
+            f"{failure.error}")
+        self.failure = failure
+
+
+class SweepResult(Dict[SweepPoint, RunRecord]):
+    """Sweep output: records for completed points plus failure state.
+
+    A plain mapping (point -> record) for every point that succeeded —
+    drop-in compatible with the pre-fault-tolerance dict return — with
+    the partial-result bookkeeping on top:
+
+    Attributes:
+        quarantined: Points that exhausted their retries, with failure
+            reasons; empty on a clean sweep.
+        stats: Counter totals (``executed``, ``cached``, ``retries``,
+            ``timeouts``, ``crashes``, ``errors``, ``quarantined``).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.quarantined: Dict[SweepPoint, PointFailure] = {}
+        self.stats: Dict[str, int] = {
+            "executed": 0, "cached": 0, "retries": 0,
+            "timeouts": 0, "crashes": 0, "errors": 0, "quarantined": 0,
+        }
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined
 
 
 # ----------------------------------------------------------------------
@@ -136,7 +308,12 @@ def cached_program(matrix: str, variant: str, config: GammaConfig):
 # Point execution (shared by the serial facade and parallel workers)
 # ----------------------------------------------------------------------
 def execute_point(point: SweepPoint) -> RunRecord:
-    """Evaluate one sweep point, reading/populating the disk cache."""
+    """Evaluate one sweep point, reading/populating the disk cache.
+
+    The fault hooks (:mod:`repro.engine.faults`) are no-ops unless a
+    fault plan is active — the chaos suite uses them to make this exact
+    code path crash, hang, or poison its cache write on demand.
+    """
     key = record_key(point)
     payload = diskcache.load(key)
     if payload is not None:
@@ -144,6 +321,8 @@ def execute_point(point: SweepPoint) -> RunRecord:
             return RunRecord.from_payload(payload)
         except (KeyError, TypeError, ValueError):
             pass  # stale/foreign entry: recompute and overwrite
+
+    faults.on_point_start(point.model, point.matrix, point.variant)
 
     from repro.matrices import suite
 
@@ -159,19 +338,10 @@ def execute_point(point: SweepPoint) -> RunRecord:
         c_nnz = execute_point(SweepPoint("gamma", point.matrix)).c_nnz
         record = model.run(a, b, config, matrix=point.matrix, c_nnz=c_nnz)
     diskcache.store(key, record.to_payload())
+    faults.corrupt_cache_path(
+        point.model, point.matrix, point.variant,
+        diskcache.entry_path(key))
     return record
-
-
-def _execute_point_payload(point: SweepPoint) -> dict:
-    """Worker entry point (top-level so it pickles).
-
-    Returns the record payload plus the wall-clock seconds the point
-    took in the worker, so the parent can surface per-point progress.
-    """
-    start = time.perf_counter()
-    payload = execute_point(point).to_payload()
-    return {"payload": payload,
-            "wall_seconds": time.perf_counter() - start}
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +397,51 @@ def pending_points(points: Iterable[SweepPoint]) -> List[SweepPoint]:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint (interrupted-sweep state, persisted through the disk cache)
+# ----------------------------------------------------------------------
+CHECKPOINT_VERSION = 1
+
+
+def checkpoint_key(points: Sequence[SweepPoint]) -> str:
+    """The checkpoint's cache key — a function of the plan, nothing else,
+    so re-issuing the same ``python -m repro sweep`` finds it."""
+    return diskcache.cache_key(
+        "sweep-checkpoint",
+        plan=sorted(record_key(p) for p in dict.fromkeys(points)))
+
+
+def save_checkpoint(points: Sequence[SweepPoint],
+                    result: SweepResult) -> None:
+    """Persist sweep progress (records themselves live in the cache).
+
+    Only resume-relevant state goes in: execution stats vary with
+    scheduling (e.g. racing workers may each compute a shared
+    prerequisite), and the cache must stay byte-identical between
+    serial and parallel runs of the same plan.
+    """
+    diskcache.store(checkpoint_key(points), {
+        "version": CHECKPOINT_VERSION,
+        "total": len(list(dict.fromkeys(points))),
+        "completed": len(result),
+        "quarantined": [
+            f.to_payload() for f in result.quarantined.values()
+        ],
+    })
+
+
+def load_checkpoint(
+        points: Sequence[SweepPoint]) -> Optional[Dict]:
+    payload = diskcache.load(checkpoint_key(points))
+    if not payload or payload.get("version") != CHECKPOINT_VERSION:
+        return None
+    return payload
+
+
+def clear_checkpoint(points: Sequence[SweepPoint]) -> None:
+    diskcache.invalidate(checkpoint_key(points))
+
+
+# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 def run_sweep(
@@ -236,7 +451,10 @@ def run_sweep(
     on_result: Optional[Callable[[SweepPoint, RunRecord], None]] = None,
     on_executed: Optional[
         Callable[[SweepPoint, RunRecord, float], None]] = None,
-) -> Dict[SweepPoint, RunRecord]:
+    policy: Optional[SweepPolicy] = None,
+    metrics=None,
+    resume: bool = False,
+) -> SweepResult:
     """Execute a sweep, parallelizing cache misses across processes.
 
     Already-cached points are loaded, not recomputed. Baseline points
@@ -244,75 +462,345 @@ def run_sweep(
     those prerequisite points are executed first so parallel baseline
     workers find them in the cache instead of redoing the simulation.
 
+    Failing points are retried and eventually quarantined per ``policy``
+    — the sweep always completes (unless ``policy.fail_fast``) and the
+    returned :class:`SweepResult` maps every *successful* point to its
+    record, with quarantined points reported separately.
+
     Args:
         points: The plan (duplicates are collapsed).
         workers: Process count (default: ``os.cpu_count()``).
         serial: Run misses in this process instead — same results,
-            useful for determinism checks and debugging.
+            useful for determinism checks and debugging. Serial mode
+            retries and quarantines but cannot cancel a hung point
+            (``timeout_seconds`` needs a killable worker process).
         on_result: Called in the parent as each point completes.
         on_executed: Called in the parent for each point actually
             *computed* (a cache miss) with its wall-clock seconds —
             cached loads do not fire it. Prerequisite Gamma runs that
             were not themselves planned fire it too.
+        policy: Failure-handling policy (default :class:`SweepPolicy`).
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; retries,
+            timeouts, crashes, and quarantines are published as
+            ``sweep/*`` counters for the CLI summary.
+        resume: Honor a previous interrupted run's checkpoint for this
+            exact plan: its quarantined points are skipped (reported as
+            ``previous-run`` failures) instead of re-burning retries,
+            and — via the disk cache — nothing already computed reruns.
 
     Returns:
-        Every planned point mapped to its record, serial or parallel
+        Every completed point mapped to its record, serial or parallel
         alike — the result of a sweep does not depend on how it ran.
     """
+    policy = policy or SweepPolicy()
     ordered = list(dict.fromkeys(points))
-    results: Dict[SweepPoint, RunRecord] = {}
+    result = SweepResult()
 
-    def finish(point: SweepPoint, record: RunRecord) -> None:
-        results[point] = record
-        if on_result is not None:
-            on_result(point, record)
+    def count(name: str, amount: int = 1) -> None:
+        result.stats[name] = result.stats.get(name, 0) + amount
+        if metrics is not None:
+            metrics.inc(f"sweep/{name}", amount)
 
-    pending = pending_points(ordered)
+    skip: Dict[SweepPoint, PointFailure] = {}
+    if resume:
+        checkpoint = load_checkpoint(ordered)
+        if checkpoint:
+            for payload in checkpoint.get("quarantined", ()):
+                failure = PointFailure.from_payload(payload)
+                failure.reason = "previous-run"
+                skip[failure.point] = failure
+    for point, failure in skip.items():
+        if point in ordered:
+            result.quarantined[point] = failure
+            count("quarantined")
+
+    runnable = [p for p in ordered if p not in result.quarantined]
+    pending = pending_points(runnable)
     pending_set = set(pending)
-    prerequisites = list(dict.fromkeys(
-        SweepPoint("gamma", p.matrix)
-        for p in pending if p.model != "gamma"
-    ))
+    prerequisites = [
+        p for p in dict.fromkeys(
+            SweepPoint("gamma", q.matrix)
+            for q in pending if q.model != "gamma")
+        if p not in result.quarantined
+    ]
+
+    computed: set = set()
+
+    def on_point_done(point: SweepPoint, record: RunRecord,
+                      wall_seconds: float) -> None:
+        computed.add(point)
+        count("executed")
+        if on_executed is not None:
+            on_executed(point, record, wall_seconds)
+        if diskcache.cache_enabled():
+            save_checkpoint(ordered, result)
+
+    def on_point_quarantined(failure: PointFailure) -> None:
+        result.quarantined[failure.point] = failure
+        count("quarantined")
+        if policy.fail_fast:
+            if diskcache.cache_enabled():
+                save_checkpoint(ordered, result)
+            raise SweepPointError(failure)
+        if diskcache.cache_enabled():
+            save_checkpoint(ordered, result)
+
     use_processes = (not serial and diskcache.cache_enabled()
                      and (workers is None or workers > 1))
     if use_processes:
         max_workers = workers or os.cpu_count() or 1
         for batch in (pending_points(prerequisites), pending):
-            _run_batch_parallel(batch, max_workers, on_executed)
+            batch = [p for p in batch if p not in result.quarantined]
+            _run_batch_parallel(
+                batch, max_workers, policy, count,
+                on_point_done, on_point_quarantined)
         pending_set = set()  # workers computed (and notified) them all
     # Serial mode (and the no-disk-cache fallback, where processes cannot
     # share results) computes misses right here, in plan order.
     for point in ordered:
+        if point in result.quarantined:
+            continue
         if point in pending_set:
-            start = time.perf_counter()
-            record = execute_point(point)
-            if on_executed is not None:
-                on_executed(point, record, time.perf_counter() - start)
+            outcome = _execute_with_retries(point, policy, count)
+            if isinstance(outcome, PointFailure):
+                on_point_quarantined(outcome)
+                continue
+            record, wall_seconds = outcome
+            on_point_done(point, record, wall_seconds)
         else:
+            try:
+                record = execute_point(point)
+            except Exception as exc:
+                # A cached load can only fail here if the entry was
+                # invalidated underneath us *and* recomputation failed.
+                outcome = _execute_with_retries(
+                    point, policy, count, first_error=exc)
+                if isinstance(outcome, PointFailure):
+                    on_point_quarantined(outcome)
+                    continue
+                record, wall_seconds = outcome
+                on_point_done(point, record, wall_seconds)
+            if point not in computed:
+                count("cached")
+        result[point] = record
+        if on_result is not None:
+            on_result(point, record)
+    if diskcache.cache_enabled():
+        save_checkpoint(ordered, result)
+    return result
+
+
+def _execute_with_retries(
+    point: SweepPoint,
+    policy: SweepPolicy,
+    count: Callable[..., None],
+    first_error: Optional[BaseException] = None,
+) -> Union[Tuple[RunRecord, float], PointFailure]:
+    """Serial-mode attempt loop: retries with backoff, then quarantine."""
+    key = record_key(point)
+    attempt = 0
+    last_error = repr(first_error) if first_error is not None else ""
+    if first_error is not None:
+        count("errors")
+        attempt = 1
+    while attempt <= policy.max_retries:
+        if attempt > 0:
+            count("retries")
+            time.sleep(policy.backoff_delay(key, attempt - 1))
+        start = time.perf_counter()
+        try:
             record = execute_point(point)
-        finish(point, record)
-    return results
+            return record, time.perf_counter() - start
+        except Exception as exc:
+            count("errors")
+            last_error = repr(exc)
+            attempt += 1
+    return PointFailure(point, attempt, "error", last_error)
+
+
+# ----------------------------------------------------------------------
+# Parallel executor: worker slots with kill-based cancellation
+# ----------------------------------------------------------------------
+def _worker_loop(conn) -> None:
+    """Worker process body: evaluate points until the parent hangs up.
+
+    Every outcome — success payload or exception detail — travels back
+    over the pipe; the parent treats a vanished pipe (hard crash,
+    ``os._exit``, OOM-kill) as a failed attempt of whatever point the
+    slot was running.
+    """
+    while True:
+        try:
+            point = conn.recv()
+        except (EOFError, OSError):
+            return
+        if point is None:
+            return
+        start = time.perf_counter()
+        try:
+            payload = execute_point(point).to_payload()
+            conn.send({"ok": True, "payload": payload,
+                       "wall_seconds": time.perf_counter() - start})
+        except BaseException as exc:  # report, don't die: slot is reused
+            try:
+                conn.send({"ok": False, "error": repr(exc),
+                           "wall_seconds": time.perf_counter() - start})
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _Slot:
+    """One worker process + pipe, respawned after kills and crashes."""
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self.busy_point: Optional[SweepPoint] = None
+        self.busy_attempt = 0
+        self.deadline: Optional[float] = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.conn, child_conn = multiprocessing.Pipe()
+        self.process = self._ctx.Process(
+            target=_worker_loop, args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+
+    def assign(self, point: SweepPoint, attempt: int,
+               timeout: Optional[float]) -> None:
+        self.busy_point = point
+        self.busy_attempt = attempt
+        self.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        self.conn.send(point)
+
+    def release(self) -> None:
+        self.busy_point = None
+        self.deadline = None
+
+    def respawn(self) -> None:
+        """Kill the current process (hung or dead) and start a fresh one."""
+        self.process.terminate()
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5)
+        self.conn.close()
+        self.release()
+        self._spawn()
+
+    def shutdown(self) -> None:
+        if self.busy_point is None and self.process.is_alive():
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        self.process.terminate()
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.kill()
+        self.conn.close()
 
 
 def _run_batch_parallel(
     batch: Sequence[SweepPoint],
     workers: int,
-    on_executed: Optional[
-        Callable[[SweepPoint, RunRecord, float], None]] = None,
+    policy: SweepPolicy,
+    count: Callable[..., None],
+    on_point_done: Callable[[SweepPoint, RunRecord, float], None],
+    on_point_quarantined: Callable[[PointFailure], None],
 ) -> None:
+    """Drive a batch through worker slots with timeout/retry/quarantine.
+
+    Unlike a ``ProcessPoolExecutor`` — where a hung task occupies its
+    worker forever and a crashed worker breaks the whole pool — each
+    slot's process can be killed and respawned independently, which is
+    what makes per-point cancellation and crash isolation possible.
+    """
     if not batch:
         return
-    with ProcessPoolExecutor(max_workers=min(workers, len(batch))) as pool:
-        futures = {pool.submit(_execute_point_payload, point): point
-                   for point in batch}
-        not_done = set(futures)
-        while not_done:
-            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-            for future in done:
-                outcome = future.result()  # surface worker exceptions
-                if on_executed is not None:
-                    on_executed(
-                        futures[future],
-                        RunRecord.from_payload(outcome["payload"]),
-                        outcome["wall_seconds"],
-                    )
+    ctx = multiprocessing.get_context()
+    slots = [_Slot(ctx) for _ in range(min(workers, len(batch)))]
+    # (ready_at, sequence, attempt, point): a heap so backoff delays and
+    # fresh points interleave correctly; sequence breaks ties FIFO.
+    sequence = itertools.count()
+    queue: List[Tuple[float, int, int, SweepPoint]] = []
+    now = time.monotonic()
+    for point in batch:
+        heapq.heappush(queue, (now, next(sequence), 0, point))
+    outstanding = len(batch)
+
+    def fail(slot_point: SweepPoint, attempt: int, reason: str,
+             error: str) -> None:
+        nonlocal outstanding
+        count({"timeout": "timeouts", "crash": "crashes"}
+              .get(reason, "errors"))
+        if attempt < policy.max_retries:
+            count("retries")
+            delay = policy.backoff_delay(record_key(slot_point), attempt)
+            heapq.heappush(queue, (
+                time.monotonic() + delay, next(sequence),
+                attempt + 1, slot_point))
+        else:
+            outstanding -= 1
+            on_point_quarantined(
+                PointFailure(slot_point, attempt + 1, reason, error))
+
+    try:
+        while outstanding > 0:
+            now = time.monotonic()
+            # Hand ready work to idle slots.
+            for slot in slots:
+                if (slot.busy_point is None and queue
+                        and queue[0][0] <= now):
+                    _, _, attempt, point = heapq.heappop(queue)
+                    slot.assign(point, attempt, policy.timeout_seconds)
+            # Wait for a result, a deadline, or a retry becoming ready.
+            busy = [s for s in slots if s.busy_point is not None]
+            wake_times = [s.deadline for s in busy
+                          if s.deadline is not None]
+            if queue and any(s.busy_point is None for s in slots):
+                wake_times.append(queue[0][0])
+            timeout = None
+            if wake_times:
+                timeout = max(0.0, min(wake_times) - time.monotonic())
+            if busy:
+                readable = multiprocessing.connection.wait(
+                    [s.conn for s in busy], timeout)
+            else:
+                readable = []
+                if timeout:
+                    time.sleep(min(timeout, 0.05))
+            by_conn = {s.conn: s for s in busy}
+            for conn in readable:
+                slot = by_conn[conn]
+                point, attempt = slot.busy_point, slot.busy_attempt
+                try:
+                    outcome = slot.conn.recv()
+                except (EOFError, OSError):
+                    # Hard worker death (os._exit, segfault, OOM-kill).
+                    slot.respawn()
+                    fail(point, attempt, "crash",
+                         "worker process died mid-point")
+                    continue
+                slot.release()
+                if outcome["ok"]:
+                    outstanding -= 1
+                    record = RunRecord.from_payload(outcome["payload"])
+                    on_point_done(point, record, outcome["wall_seconds"])
+                else:
+                    fail(point, attempt, "error", outcome["error"])
+            # Deadline pass: anything still busy past its deadline hangs.
+            now = time.monotonic()
+            for slot in slots:
+                if (slot.busy_point is not None
+                        and slot.deadline is not None
+                        and now >= slot.deadline
+                        and not slot.conn.poll()):
+                    point, attempt = slot.busy_point, slot.busy_attempt
+                    slot.respawn()
+                    fail(point, attempt, "timeout",
+                         f"exceeded {policy.timeout_seconds}s timeout")
+    finally:
+        for slot in slots:
+            slot.shutdown()

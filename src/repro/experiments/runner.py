@@ -65,9 +65,22 @@ class ExperimentRunner:
     def sweep(self, points: Iterable[SweepPoint],
               workers: Optional[int] = None,
               serial: bool = False) -> List[RunRecord]:
-        """Evaluate many points, parallelizing disk-cache misses."""
+        """Evaluate many points, parallelizing disk-cache misses.
+
+        The figures need every record, so a sweep that quarantined any
+        point (see :class:`~repro.engine.sweep.SweepPolicy`) raises here
+        with the failure list instead of handing back partial data.
+        """
         points = list(points)
         results = run_sweep(points, workers=workers, serial=serial)
+        if results.quarantined:
+            detail = "; ".join(
+                f"{f.point.label()}: {f.reason} after {f.attempts} "
+                f"attempts ({f.error})"
+                for f in results.quarantined.values())
+            raise RuntimeError(
+                f"{len(results.quarantined)} sweep point(s) failed "
+                f"permanently — figures need complete data: {detail}")
         self._records.update(results)
         return [results[point] for point in dict.fromkeys(points)]
 

@@ -179,6 +179,15 @@ class MetricsRegistry:
     def info(self, name: str, default: Any = None) -> Any:
         return self._info.get(name, default)
 
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment a counter by name (publisher convenience).
+
+        The sweep engine's fault-tolerance path publishes its
+        ``sweep/*`` counters (retries, timeouts, crashes, quarantined)
+        through this, keeping the call sites one line.
+        """
+        self.counter(name).inc(amount)
+
     # -- queries ---------------------------------------------------------
     def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
         """Counter values whose name starts with ``prefix``, key-stripped."""

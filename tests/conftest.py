@@ -1,0 +1,66 @@
+"""Shared test harness: per-test wall-clock ceilings.
+
+CI installs ``pytest-timeout`` and this conftest defaults its ceiling
+per test; minimal environments without the plugin get a SIGALRM
+fallback enforcing the same ceilings, so a hung test (e.g. a deadlocked
+sweep worker) fails loudly instead of wedging the whole run.
+
+Ceilings: ``@pytest.mark.timeout(N)`` wins; ``slow``-marked tests (the
+randomized differential tails) get a long leash; everything else gets
+the default.
+"""
+
+import importlib.util
+import signal
+import threading
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 120.0
+SLOW_TIMEOUT_SECONDS = 600.0
+
+_HAVE_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def _ceiling(item):
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    if item.get_closest_marker("slow") is not None:
+        return SLOW_TIMEOUT_SECONDS
+    return DEFAULT_TIMEOUT_SECONDS
+
+
+if _HAVE_PLUGIN:
+
+    def pytest_collection_modifyitems(items):
+        """Give every unmarked test the default pytest-timeout ceiling."""
+        for item in items:
+            if item.get_closest_marker("timeout") is None:
+                item.add_marker(pytest.mark.timeout(_ceiling(item)))
+
+else:
+    _CAN_ALARM = hasattr(signal, "SIGALRM")
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        if (not _CAN_ALARM
+                or threading.current_thread()
+                is not threading.main_thread()):
+            yield
+            return
+        ceiling = _ceiling(item)
+
+        def _expired(signum, frame):
+            pytest.fail(
+                f"wall-clock ceiling of {ceiling:.0f}s exceeded "
+                "(pytest-timeout not installed; SIGALRM fallback)",
+                pytrace=False)
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, ceiling)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,313 @@
+"""Chaos suite: the sweep engine under deterministic fault injection.
+
+Every scenario arms a :mod:`repro.engine.faults` plan, runs a sweep, and
+asserts two things: (1) the sweep *completes* — quarantining only points
+that genuinely cannot succeed — and (2) every successful record is
+bit-identical (``to_payload()`` equality) to a clean serial run in a
+pristine cache, i.e. fault handling never changes results, only
+availability.
+
+Worker-death scenarios (hard kill, hang+timeout) need the parallel
+executor; exception-style faults are also exercised through the serial
+path. The kill-mid-sweep scenario runs a real child Python process that
+``os._exit``\\ s partway through and asserts ``--resume`` semantics:
+nothing already cached is recomputed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.engine import diskcache, faults
+from repro.engine.sweep import (
+    SweepPoint,
+    SweepPointError,
+    SweepPolicy,
+    load_checkpoint,
+    plan_sweep,
+    record_key,
+    run_sweep,
+)
+
+MATRICES = ("wiki-Vote", "poisson3Da")
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Fast-failure policy: retries are near-instant so scenarios stay quick.
+FAST = dict(backoff_base_seconds=0.01, backoff_max_seconds=0.05)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture()
+def clean_records(tmp_path, monkeypatch):
+    """Records from a clean serial sweep in a separate pristine cache."""
+    plan = small_plan()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+    clean = run_sweep(plan, serial=True)
+    assert clean.complete
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return {point: record.to_payload() for point, record in clean.items()}
+
+
+def small_plan():
+    return plan_sweep(MATRICES, models=("gamma", "sparch"),
+                      variants=("none",))
+
+
+def arm(tmp_path, *specs):
+    return faults.FaultPlan.load(
+        faults.install_plan(list(specs), tmp_path / "faults"))
+
+
+def assert_identical(result, clean_records):
+    assert set(result) == set(clean_records)
+    for point, payload in clean_records.items():
+        assert result[point].to_payload() == payload, point.label()
+
+
+class TestWorkerCrash:
+    def test_hard_worker_death_is_retried(self, tmp_path, clean_records):
+        """os._exit in a worker kills the process; the point survives."""
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="kill", model="gamma", matrix="wiki-Vote"))
+        result = run_sweep(
+            small_plan(), workers=2,
+            policy=SweepPolicy(max_retries=2, **FAST))
+        assert result.complete
+        assert result.stats["crashes"] == 1
+        assert result.stats["retries"] == 1
+        assert plan.triggered(0) == 1
+        assert_identical(result, clean_records)
+
+    def test_crash_exception_is_retried(self, tmp_path, clean_records):
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="crash", model="sparch", matrix="poisson3Da"))
+        result = run_sweep(
+            small_plan(), workers=2,
+            policy=SweepPolicy(max_retries=2, **FAST))
+        assert result.complete
+        assert result.stats["errors"] == 1
+        assert plan.triggered(0) == 1
+        assert_identical(result, clean_records)
+
+
+class TestHang:
+    def test_hung_point_times_out_and_retries(self, tmp_path,
+                                              clean_records):
+        """A hang past the per-point timeout gets its worker killed."""
+        arm(tmp_path, faults.FaultSpec(
+            kind="hang", model="gamma", matrix="poisson3Da",
+            hang_seconds=60.0))
+        result = run_sweep(
+            small_plan(), workers=2,
+            policy=SweepPolicy(timeout_seconds=2.0, max_retries=1,
+                               **FAST))
+        assert result.complete
+        assert result.stats["timeouts"] == 1
+        assert result.stats["retries"] == 1
+        assert_identical(result, clean_records)
+
+
+class TestFlaky:
+    def test_flaky_then_succeed_parallel(self, tmp_path, clean_records):
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="flaky", model="gamma", matrix="wiki-Vote", times=2))
+        result = run_sweep(
+            small_plan(), workers=2,
+            policy=SweepPolicy(max_retries=3, **FAST))
+        assert result.complete
+        assert plan.triggered(0) == 2
+        assert result.stats["retries"] == 2
+        assert_identical(result, clean_records)
+
+    def test_flaky_then_succeed_serial(self, tmp_path, clean_records):
+        """The retry loop also protects serial (in-process) sweeps."""
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="flaky", model="gamma", matrix="wiki-Vote", times=1))
+        result = run_sweep(
+            small_plan(), serial=True,
+            policy=SweepPolicy(max_retries=1, **FAST))
+        assert result.complete
+        assert plan.triggered(0) == 1
+        assert result.stats["retries"] == 1
+        assert_identical(result, clean_records)
+
+
+class TestQuarantine:
+    def test_only_genuinely_failing_point_quarantined(
+            self, tmp_path, clean_records):
+        """A persistent failure is isolated; the rest of the sweep lands."""
+        arm(tmp_path, faults.FaultSpec(
+            kind="crash", model="gamma", matrix="wiki-Vote",
+            times=10_000))
+        result = run_sweep(
+            small_plan(), workers=2,
+            policy=SweepPolicy(max_retries=1, **FAST))
+        bad = SweepPoint("gamma", "wiki-Vote", "none")
+        # sparch:wiki-Vote needs the quarantined gamma run for c_nnz, so
+        # it genuinely cannot succeed either; poisson3Da is untouched.
+        assert bad in result.quarantined
+        assert result.quarantined[bad].attempts == 2
+        for point in plan_sweep(["poisson3Da"],
+                                models=("gamma", "sparch"),
+                                variants=("none",)):
+            assert result[point].to_payload() == clean_records[point]
+        assert all(p.matrix == "wiki-Vote" for p in result.quarantined)
+
+    def test_fail_fast_raises(self, tmp_path):
+        arm(tmp_path, faults.FaultSpec(
+            kind="crash", model="gamma", matrix="wiki-Vote",
+            times=10_000))
+        with pytest.raises(SweepPointError, match="gamma:wiki-Vote"):
+            run_sweep(
+                small_plan(), serial=True,
+                policy=SweepPolicy(max_retries=0, fail_fast=True,
+                                   **FAST))
+
+    def test_resume_skips_known_bad_points(self, tmp_path):
+        """--resume does not re-burn retries on quarantined points."""
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="crash", model="gamma", matrix="wiki-Vote",
+            times=10_000))
+        sweep = small_plan()
+        first = run_sweep(sweep, serial=True,
+                          policy=SweepPolicy(max_retries=1, **FAST))
+        assert not first.complete
+        burned = plan.triggered(0)
+        # 2 attempts on gamma:wiki-Vote directly, plus 2 more through
+        # sparch:wiki-Vote's recursive c_nnz prerequisite.
+        assert burned == 4
+        resumed = run_sweep(sweep, serial=True, resume=True,
+                            policy=SweepPolicy(max_retries=1, **FAST))
+        assert set(resumed.quarantined) == set(first.quarantined)
+        assert all(f.reason == "previous-run"
+                   for f in resumed.quarantined.values())
+        # No new attempts were made against the known-bad point.
+        assert plan.triggered(0) == burned
+        # Everything that could succeed is served from cache, unchanged.
+        for point, record in first.items():
+            assert resumed[point].to_payload() == record.to_payload()
+
+
+class TestCorruptCache:
+    def test_corrupt_entry_invalidated_and_recomputed(
+            self, tmp_path, clean_records):
+        """A truncated cache entry is detected, dropped, and recomputed."""
+        point = SweepPoint("gamma", "wiki-Vote", "none")
+        arm(tmp_path, faults.FaultSpec(
+            kind="corrupt_cache", model="gamma", matrix="wiki-Vote"))
+        from repro.engine import execute_point, pending_points
+
+        execute_point(point)  # computes, stores, then poisons the entry
+        entry = diskcache.entry_path(record_key(point))
+        assert entry.exists()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(entry.read_text())
+        faults.clear_plan()
+        # The poisoned entry reads as a miss (and is unlinked), so the
+        # next sweep recomputes exactly this point...
+        assert pending_points([point]) == [point]
+        assert not entry.exists()
+        executed = []
+        result = run_sweep(small_plan(), serial=True,
+                           policy=SweepPolicy(**FAST),
+                           on_executed=lambda p, r, w: executed.append(p))
+        assert point in executed
+        # ...and the recomputed record is bit-identical to a clean run.
+        assert_identical(result, clean_records)
+
+    def test_worker_corrupt_write_self_heals(self, tmp_path,
+                                             clean_records):
+        """A worker's poisoned write is caught by the parent's read-back,
+        recomputed in-process, and rewritten valid — same results."""
+        point = SweepPoint("gamma", "wiki-Vote", "none")
+        arm(tmp_path, faults.FaultSpec(
+            kind="corrupt_cache", model="gamma", matrix="wiki-Vote"))
+        result = run_sweep(small_plan(), workers=2,
+                           policy=SweepPolicy(**FAST))
+        assert result.complete
+        assert_identical(result, clean_records)
+        # The entry the worker truncated ends up valid on disk.
+        assert diskcache.load(record_key(point)) is not None
+
+    def test_checksum_mismatch_invalidated(self):
+        """Bit-rot (valid JSON, wrong digest) is also caught."""
+        diskcache.store("somekey", {"x": 1})
+        entry = diskcache.entry_path("somekey")
+        envelope = json.loads(entry.read_text())
+        envelope["payload"]["x"] = 2  # flip a bit, keep old checksum
+        entry.write_text(json.dumps(envelope))
+        assert diskcache.load("somekey") is None
+        assert not entry.exists()  # invalidated in place
+
+
+class TestKillMidSweep:
+    @pytest.mark.timeout(420)  # drives a whole child sweep process
+    def test_resume_recomputes_nothing_cached(self, tmp_path,
+                                              clean_records):
+        """SIGKILL-equivalent death mid-sweep, then resume from cache."""
+        driver = tmp_path / "driver.py"
+        driver.write_text(textwrap.dedent("""
+            import os, sys
+            from repro.engine import plan_sweep, run_sweep
+
+            done = []
+            def executed(point, record, wall):
+                print("computed", point.label(), flush=True)
+                done.append(point)
+                if len(done) == 2:
+                    os._exit(137)  # no cleanup, like SIGKILL
+
+            run_sweep(plan_sweep(%r, models=("gamma", "sparch"),
+                                 variants=("none",)),
+                      serial=True, on_executed=executed)
+        """ % (list(MATRICES),)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + os.pathsep + env.get("PYTHONPATH", ""))
+        proc = subprocess.run(
+            [sys.executable, str(driver)], env=env, cwd=ROOT,
+            capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 137, proc.stderr
+        already = {line.split()[1] for line in proc.stdout.splitlines()
+                   if line.startswith("computed")}
+        assert len(already) == 2
+        # Resume: only the not-yet-cached points are computed.
+        executed = []
+        result = run_sweep(small_plan(), serial=True, resume=True,
+                           on_executed=lambda p, r, w: executed.append(p))
+        assert result.complete
+        assert {p.label() for p in executed}.isdisjoint(already)
+        assert len(executed) == len(small_plan()) - 2
+        assert_identical(result, clean_records)
+
+
+class TestCheckpoint:
+    def test_checkpoint_tracks_progress(self):
+        sweep = small_plan()
+        result = run_sweep(sweep, serial=True)
+        checkpoint = load_checkpoint(sweep)
+        assert checkpoint is not None
+        assert checkpoint["completed"] == len(sweep)
+        assert checkpoint["total"] == len(sweep)
+        assert checkpoint["quarantined"] == []
+        assert result.complete
+
+    def test_checkpoint_is_plan_keyed(self):
+        sweep = small_plan()
+        run_sweep(sweep, serial=True)
+        other = plan_sweep(["wiki-Vote"], models=("gamma",),
+                           variants=("none",))
+        # A different plan has its own checkpoint (initially absent...
+        # though its points are already cached by the bigger sweep).
+        assert load_checkpoint(other) is None

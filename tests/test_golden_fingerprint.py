@@ -1,0 +1,148 @@
+"""Golden behavioral-fingerprint regression test (tier-1).
+
+The differential suite (``tests/test_differential.py``) defines a
+320-point behavioral space — 80 seeded random operand pairs x 4
+execution modes (arithmetic, boolean, tropical, arithmetic with
+single-PE-per-row scheduling) on the deliberately tiny ``SMALL_CONFIG``
+system that exercises eviction, spills, and multi-level task trees. Each
+point's *fingerprint* captures everything observable about the run:
+cycles, per-stream traffic, flops, output nonzero count, and an exact
+(bit-level, float-hex) digest of the output matrix.
+
+The full space is slow, so tier-1 pins a seeded 16-point subset as a
+golden file. Any behavioral drift — a scheduler tweak that reorders
+float accumulation, a cache change that shifts traffic, an off-by-one in
+the merger — fails this test immediately instead of waiting for someone
+to run the manual differential tail.
+
+If a change is *intentional*, regenerate with::
+
+    PYTHONPATH=src python tests/test_golden_fingerprint.py --regenerate
+
+and justify the new golden file in the commit message.
+"""
+
+import hashlib
+import json
+import pathlib
+import random
+import sys
+
+import pytest
+
+from repro.core import GammaSimulator
+from repro.semiring import BOOLEAN, TROPICAL_MIN
+
+try:
+    from tests.test_differential import SMALL_CONFIG, random_pair
+except ImportError:  # invoked as a script for --regenerate
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+    from tests.test_differential import SMALL_CONFIG, random_pair
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
+               / "behavioral_fingerprint.json")
+
+#: The four execution modes of the fingerprint space.
+MODES = (
+    ("arithmetic", None, True),
+    ("boolean", BOOLEAN, True),
+    ("tropical", TROPICAL_MIN, True),
+    ("arithmetic-singlepe", None, False),
+)
+
+#: 80 seeds x 4 modes = the 320-point space.
+NUM_SEEDS = 80
+
+#: Seeded subset pinned as golden (indices into the 320-point space).
+SUBSET_SIZE = 16
+SUBSET = sorted(random.Random(0x6A).sample(
+    range(NUM_SEEDS * len(MODES)), SUBSET_SIZE))
+
+
+def point_of(index):
+    """Map a space index to (seed, mode name, semiring, multi_pe)."""
+    seed, mode = divmod(index, len(MODES))
+    name, semiring, multi_pe = MODES[mode]
+    return seed, name, semiring, multi_pe
+
+
+def output_digest(matrix):
+    """Exact digest of a CSR output: float-hex values, so any bit-level
+    change in accumulation order or arithmetic shows up."""
+    lines = []
+    for row in range(matrix.num_rows):
+        start, end = matrix.offsets[row], matrix.offsets[row + 1]
+        for idx in range(start, end):
+            lines.append(
+                f"{row},{int(matrix.coords[idx])},"
+                f"{float(matrix.values[idx]).hex()}")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def compute_fingerprint(index):
+    seed, name, semiring, multi_pe = point_of(index)
+    a, b = random_pair(seed)
+    sim = GammaSimulator(SMALL_CONFIG, semiring=semiring,
+                         multi_pe_scheduling=multi_pe)
+    result = sim.run(a, b)
+    return {
+        "seed": seed,
+        "mode": name,
+        "cycles": result.cycles,
+        "traffic_bytes": {k: int(v)
+                          for k, v in sorted(result.traffic_bytes.items())},
+        "flops": int(result.flops),
+        "c_nnz": int(result.output.nnz),
+        "output_sha256": output_digest(result.output),
+    }
+
+
+def load_golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenFingerprint:
+    def test_subset_is_stable(self):
+        """The pinned index subset itself must never drift."""
+        golden = load_golden()
+        assert golden["num_seeds"] == NUM_SEEDS
+        assert golden["modes"] == [m[0] for m in MODES]
+        assert [p["index"] for p in golden["points"]] == SUBSET
+
+    @pytest.mark.parametrize("index", SUBSET)
+    def test_behavior_matches_golden(self, index):
+        golden = {p["index"]: p for p in load_golden()["points"]}
+        expected = dict(golden[index])
+        expected.pop("index")
+        actual = compute_fingerprint(index)
+        assert actual == expected, (
+            f"behavioral drift at fingerprint point {index} "
+            f"(seed={actual['seed']}, mode={actual['mode']}): if this "
+            "change is intentional, regenerate with PYTHONPATH=src "
+            "python tests/test_golden_fingerprint.py --regenerate")
+
+
+def regenerate():
+    points = []
+    for index in SUBSET:
+        fingerprint = compute_fingerprint(index)
+        points.append({"index": index, **fingerprint})
+    GOLDEN_PATH.write_text(json.dumps({
+        "description": (
+            "Seeded 16-point subset of the 320-point behavioral "
+            "fingerprint (80 seeds x 4 modes on SMALL_CONFIG); see "
+            "tests/test_golden_fingerprint.py"),
+        "num_seeds": NUM_SEEDS,
+        "modes": [m[0] for m in MODES],
+        "points": points,
+    }, indent=1) + "\n")
+    print(f"wrote {len(points)} fingerprints to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -1,10 +1,16 @@
-"""Unit tests for work programs and the dynamic scheduler."""
+"""Unit and property tests for task trees and the dynamic scheduler."""
+
+import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.scheduler import Scheduler, WorkItem, WorkProgram
+from repro.core.tasks import build_task_tree
 from repro.matrices import generators
+from repro.matrices.builder import CooBuilder
 from repro.matrices.csr import CsrMatrix
 
 
@@ -141,3 +147,163 @@ class TestSchedulerDispatch:
         scheduler = Scheduler(WorkProgram.from_matrix(a), radix=64)
         with pytest.raises(RuntimeError, match="negative"):
             scheduler.partial_consumed()
+
+
+# --- Property tests (Hypothesis) --------------------------------------
+
+#: Deterministic exploration so CI and local runs see identical cases.
+PROPERTY = settings(derandomize=True, deadline=None, max_examples=60)
+
+
+@st.composite
+def tree_case(draw):
+    """One linear combination: (b_rows, scales, radix)."""
+    n = draw(st.integers(min_value=1, max_value=300))
+    radix = draw(st.integers(min_value=2, max_value=16))
+    b_rows = draw(st.lists(st.integers(0, 60), min_size=n, max_size=n))
+    scales = [1.0 + (i % 7) / 3.0 for i in range(n)]
+    return b_rows, scales, radix
+
+
+def b_input_multiset(tasks):
+    """Every (B row, scale) consumed anywhere in the tree, as a list."""
+    return sorted((inp.index, inp.scale)
+                  for task in tasks for inp in task.inputs
+                  if inp.kind == "B")
+
+
+def subtree_b_count(task):
+    return (sum(1 for inp in task.inputs if inp.kind == "B")
+            + sum(subtree_b_count(child) for child in task.children))
+
+
+class TestTaskTreeProperties:
+    """Paper Sec. 3.3 / Fig. 9 invariants of ``build_task_tree``."""
+
+    @PROPERTY
+    @given(case=tree_case())
+    def test_interior_nodes_are_top_full(self, case):
+        """Every merge above the leaves uses all ``radix`` ways."""
+        b_rows, scales, radix = case
+        tasks = build_task_tree(0, b_rows, scales, radix)
+        for task in tasks:
+            if task.level > 0:
+                assert task.num_inputs == radix
+            else:
+                assert 1 <= task.num_inputs <= radix
+
+    @PROPERTY
+    @given(case=tree_case())
+    def test_depth_is_the_balanced_minimum(self, case):
+        """Root level matches the radix-ary recurrence — no skew."""
+        b_rows, scales, radix = case
+        tasks = build_task_tree(0, b_rows, scales, radix)
+        depth, size = 0, len(b_rows)
+        while size > radix:
+            size = math.ceil(size / radix)
+            depth += 1
+        assert tasks[-1].level == depth
+
+    @PROPERTY
+    @given(case=tree_case())
+    def test_b_inputs_cover_multiset_exactly(self, case):
+        """Each (B row, scale) pair is consumed exactly once, anywhere."""
+        b_rows, scales, radix = case
+        tasks = build_task_tree(0, b_rows, scales, radix)
+        assert b_input_multiset(tasks) == sorted(zip(b_rows, scales))
+
+    @PROPERTY
+    @given(case=tree_case())
+    def test_dependency_order_and_single_consumption(self, case):
+        """Children precede parents; the root is last and alone final;
+        every non-root output feeds exactly one partial input."""
+        b_rows, scales, radix = case
+        tasks = build_task_tree(0, b_rows, scales, radix)
+        position = {task.task_id: i for i, task in enumerate(tasks)}
+        consumers = {}
+        for i, task in enumerate(tasks):
+            for inp in task.inputs:
+                if inp.kind == "partial":
+                    assert position[inp.index] < i
+                    consumers[inp.index] = consumers.get(inp.index, 0) + 1
+        root = tasks[-1]
+        assert root.is_final
+        assert sum(t.is_final for t in tasks) == 1
+        for task in tasks[:-1]:
+            assert consumers.get(task.task_id, 0) == 1
+
+    @PROPERTY
+    @given(case=tree_case())
+    def test_merger_ways_are_balanced(self, case):
+        """Sibling ways of any interior merge cover fiber counts that
+        differ by at most one (slack only at the bottom, Fig. 9)."""
+        b_rows, scales, radix = case
+        tasks = build_task_tree(0, b_rows, scales, radix)
+        for task in tasks:
+            if task.level == 0:
+                continue
+            shares = ([subtree_b_count(child) for child in task.children]
+                      + [1 for inp in task.inputs if inp.kind == "B"])
+            assert max(shares) - min(shares) <= 1
+
+    @PROPERTY
+    @given(case=tree_case())
+    def test_bottom_way_count_bounds(self, case):
+        """Bottom merger ways (leaves plus single fibers fed straight to
+        an interior way) number at least ceil(nnz/radix). The naive
+        "leaf count == ceil(nnz/radix)" is false for this builder: a
+        size-1 share becomes a direct parent input, not a leaf task."""
+        b_rows, scales, radix = case
+        tasks = build_task_tree(0, b_rows, scales, radix)
+        leaves = sum(1 for t in tasks if t.level == 0)
+        directs = sum(1 for t in tasks if t.level > 0
+                      for inp in t.inputs if inp.kind == "B")
+        n = len(b_rows)
+        assert leaves + directs >= math.ceil(n / radix)
+        if n <= radix:
+            assert leaves == math.ceil(n / radix) == 1 and directs == 0
+
+    @PROPERTY
+    @given(sizes=st.lists(st.integers(1, 40), min_size=1, max_size=8),
+           radix=st.integers(2, 8))
+    def test_priority_orders_rows_then_higher_levels(self, sizes, radix):
+        """Sorting by priority_key yields row order first and, within a
+        row, higher tree levels first (Sec. 3.3 dispatch policy)."""
+        tasks = []
+        for order, size in enumerate(sizes):
+            tasks.extend(build_task_tree(
+                row=order, b_rows=list(range(size)), scales=[1.0] * size,
+                radix=radix, row_order=order))
+        ranked = sorted(tasks, key=lambda t: t.priority_key())
+        for earlier, later in zip(ranked, ranked[1:]):
+            assert earlier.row_order <= later.row_order
+            if earlier.row_order == later.row_order:
+                assert earlier.level >= later.level
+
+
+class TestSchedulerProperties:
+    @PROPERTY
+    @given(row_nnz=st.lists(st.integers(0, 30), min_size=1, max_size=10),
+           radix=st.integers(2, 8))
+    def test_drain_preserves_order_and_dependencies(self, row_nnz, radix):
+        """Any program drains completely: one final per nonempty row, in
+        row order, with every partial produced before it is consumed."""
+        num_cols = 40
+        builder = CooBuilder(len(row_nnz), num_cols)
+        for row, nnz in enumerate(row_nnz):
+            for j in range(nnz):
+                builder.add(row, (row * 7 + j * 3) % num_cols,
+                            1.0 + j / 5.0)
+        a = builder.build()
+        scheduler = Scheduler(WorkProgram.from_matrix(a), radix=radix)
+        executed = drain(scheduler)
+        completed = set()
+        for task in executed:
+            for inp in task.inputs:
+                if inp.kind == "partial":
+                    assert inp.index in completed
+            completed.add(task.task_id)
+        finals = [t.row for t in executed if t.is_final]
+        assert finals == sorted(finals)
+        nonempty = sum(1 for r in range(a.num_rows) if a.row_nnz(r) > 0)
+        assert len(finals) == nonempty
