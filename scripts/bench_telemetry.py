@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Pinned telemetry-overhead benchmark: spans must stay near-free.
+
+Runs the same serial sweep (disk cache disabled, so every point is
+recomputed) twice per repetition — telemetry off, then telemetry on
+(span recording to a throwaway directory) — and reports the relative
+wall-clock overhead of the instrumented run. The pipeline's contract is
+that span recording costs **under 5%** on a compute-bound sweep; this
+script pins that number in ``BENCH_telemetry.json`` so successive
+commits can be compared, and exits nonzero when the budget is blown.
+
+Workloads are pinned: matrices come from the seeded generator suite,
+the plan is fixed, and the median over repetitions is compared (medians
+shrug off one noisy neighbour on shared CI runners).
+
+    PYTHONPATH=src python scripts/bench_telemetry.py --out BENCH_telemetry.json
+
+``--quick`` shrinks the repetitions for the CI smoke job (crash check
+plus a loose threshold; quick numbers are not comparable to full runs).
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: The contract: spans-enabled sweeps cost at most this much more.
+OVERHEAD_BUDGET = 0.05
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def sweep_plan():
+    from repro.engine.sweep import SweepPoint
+
+    return [SweepPoint("gamma", "wiki-Vote", "none"),
+            SweepPoint("gamma", "wiki-Vote", "full"),
+            SweepPoint("gamma", "poisson3Da", "none")]
+
+
+def run_once(telemetry_dir):
+    """One serial sweep; records wall seconds and emitted event count."""
+    from repro.engine.sweep import run_sweep
+    from repro.obs import spans
+
+    events = 0
+    if telemetry_dir is not None:
+        spans.enable(telemetry_dir)
+    start = time.perf_counter()
+    try:
+        result = run_sweep(sweep_plan(), serial=True)
+    finally:
+        if telemetry_dir is not None:
+            spans.disable()
+    wall = time.perf_counter() - start
+    assert result.complete
+    if telemetry_dir is not None:
+        events = len(spans.merge_directory(telemetry_dir)["spans"])
+    return wall, events
+
+
+def bench(repeats: int) -> dict:
+    os.environ["REPRO_NO_DISK_CACHE"] = "1"
+    from repro.matrices import suite
+
+    for point in sweep_plan():  # pre-generate outside the timed region
+        suite.operands(point.matrix)
+    base_walls, span_walls, events = [], [], 0
+    scratch = Path(tempfile.mkdtemp(prefix="bench_telemetry_"))
+    try:
+        run_once(None)  # warm-up (imports, allocator)
+        for index in range(repeats):
+            wall, _ = run_once(None)
+            base_walls.append(wall)
+            tele = scratch / f"rep{index}"
+            wall, events = run_once(tele)
+            span_walls.append(wall)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    base = statistics.median(base_walls)
+    instrumented = statistics.median(span_walls)
+    return {
+        "baseline_wall_s": base,
+        "instrumented_wall_s": instrumented,
+        "overhead": (instrumented - base) / base,
+        "events_per_run": events,
+        "repeats": repeats,
+        "baseline_walls": base_walls,
+        "instrumented_walls": span_walls,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer repeats, looser threshold")
+    args = parser.parse_args(argv)
+    repeats = 2 if args.quick else args.repeats
+    # Quick mode only smoke-checks for crashes/gross regressions: with
+    # 2 repetitions a shared runner's noise can exceed the real budget.
+    budget = 0.25 if args.quick else OVERHEAD_BUDGET
+
+    result = bench(repeats)
+    report = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "telemetry-overhead",
+        "quick": args.quick,
+        "budget": budget,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **result,
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if result["overhead"] > budget:
+        print(f"FAIL: telemetry overhead {result['overhead']:.1%} "
+              f"exceeds the {budget:.0%} budget", file=sys.stderr)
+        return 1
+    print(f"OK: telemetry overhead {result['overhead']:.1%} "
+          f"(budget {budget:.0%})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

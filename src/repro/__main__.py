@@ -9,8 +9,11 @@ Usage::
     python -m repro export out/ fig12    # write .txt/.csv/.json artifacts
     python -m repro sweep                # pre-warm the disk cache in parallel
     python -m repro sweep --set common --models gamma,mkl --workers 8
+    python -m repro sweep --metrics --trace-dir out/   # telemetry-enabled
+    python -m repro report out/                        # render run report
     python -m repro profile gamma wiki-Vote            # cycle-level report
     python -m repro profile gamma gupta2 --variant full --trace out.jsonl
+    python -m repro profile gamma gupta2 --perfetto out.trace.json
 """
 
 from __future__ import annotations
@@ -126,12 +129,25 @@ def _cmd_sweep(args) -> int:
     policy = SweepPolicy(timeout_seconds=args.timeout,
                          max_retries=args.max_retries)
     metrics = MetricsRegistry()
+    if args.trace_dir:
+        from repro.obs import report, spans
+        spans.enable(report.span_directory(args.trace_dir))
     sweep_start = time.perf_counter()
-    result = run_sweep(points, workers=args.workers, serial=args.serial,
-                       on_result=progress, on_executed=executed,
-                       policy=policy, metrics=metrics,
-                       resume=args.resume)
+    try:
+        result = run_sweep(points, workers=args.workers,
+                           serial=args.serial,
+                           on_result=progress, on_executed=executed,
+                           policy=policy, metrics=metrics,
+                           resume=args.resume,
+                           collect_metrics=args.metrics)
+    finally:
+        if args.trace_dir:
+            spans.disable()
     sweep_wall = time.perf_counter() - sweep_start
+    if args.trace_dir:
+        paths = report.finalize_sweep_telemetry(args.trace_dir, result)
+        for kind, path in sorted(paths.items()):
+            print(f"telemetry: wrote {kind} to {path}")
     from repro.engine import diskcache
     store = ("the disk cache" if diskcache.cache_enabled()
              else "memory only (disk cache disabled)")
@@ -217,6 +233,31 @@ def _cmd_profile(args) -> int:
             args.trace, model=args.model, matrix=args.matrix,
             variant=args.variant)
         print(f"wrote {lines} trace lines to {args.trace}")
+    if args.perfetto:
+        from repro.obs import (
+            chrome_trace_from_execution_trace,
+            write_chrome_trace,
+        )
+        trace = chrome_trace_from_execution_trace(
+            run.trace, label=f"{args.model}:{args.matrix}")
+        write_chrome_trace(args.perfetto, trace)
+        print(f"wrote Perfetto trace ({len(trace['traceEvents'])} "
+              f"events) to {args.perfetto}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import generate_report
+
+    try:
+        paths = generate_report(args.directory,
+                                include_timing=args.include_timing,
+                                output_dir=args.output)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for kind, path in sorted(paths.items()):
+        print(f"wrote {kind} report to {path}")
     return 0
 
 
@@ -283,6 +324,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--resume", action="store_true",
         help="pick up an interrupted sweep: skip cached results and "
              "previously quarantined points instead of retrying them")
+    sweep_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect cycle-level MetricsRegistry blobs on gamma "
+             "points (recomputes cached records lacking one)")
+    sweep_parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="record cross-process telemetry and write run_log.jsonl, "
+             "trace.json (Perfetto), and sweep.json into DIR")
+    report_parser = sub.add_parser(
+        "report",
+        help="render report.md + report.html from a sweep --trace-dir")
+    report_parser.add_argument(
+        "directory", help="sweep telemetry directory (has sweep.json)")
+    report_parser.add_argument(
+        "--include-timing", action="store_true",
+        help="append the execution/timing appendix (not deterministic "
+             "across serial vs parallel runs)")
+    report_parser.add_argument(
+        "--output", metavar="DIR", default=None,
+        help="write reports here instead of into the sweep directory")
     profile_parser = sub.add_parser(
         "profile",
         help="run one point instrumented and print the cycle-level report")
@@ -295,6 +356,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile_parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="also export the task event stream as JSONL")
+    profile_parser.add_argument(
+        "--perfetto", metavar="PATH", default=None,
+        help="also export a Chrome trace-event JSON (PE lanes + phase "
+             "windows) loadable at ui.perfetto.dev")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -307,6 +372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_suite()
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "profile":
         return _cmd_profile(args)
     parser.error(f"unknown command {args.command!r}")

@@ -22,6 +22,12 @@ crashed-mid-write copy restored from backup — is *invalidated in place*
 (unlinked) and reported as a miss, so a corrupt entry costs one
 recomputation instead of silently poisoning every later sweep.
 
+When sweep telemetry is active (:mod:`repro.obs.spans`), every load and
+store publishes a ``cache/hit`` / ``cache/miss`` / ``cache/corrupt_unlink``
+/ ``cache/store`` instant event, so a run log shows exactly which points
+were served from disk and which entries had to be healed. With telemetry
+off the hooks cost one environment lookup.
+
 Delete the directory (or set ``REPRO_NO_DISK_CACHE=1``) to force re-runs.
 """
 
@@ -37,6 +43,7 @@ from typing import Dict, Optional
 import repro
 from repro.engine.record import SCHEMA_VERSION
 from repro.matrices.generators import GENERATOR_VERSION
+from repro.obs import spans
 
 #: Envelope layout version (independent of the record schema: the record
 #: schema versions *payloads*, this versions the on-disk wrapper).
@@ -101,9 +108,11 @@ def load(key: str) -> Optional[Dict]:
     try:
         envelope = json.loads(path.read_text())
     except FileNotFoundError:
+        spans.emit_instant("cache/miss", key=key)
         return None
     except (json.JSONDecodeError, OSError):
         invalidate(key)
+        spans.emit_instant("cache/corrupt_unlink", key=key)
         return None
     if (
         not isinstance(envelope, dict)
@@ -112,7 +121,9 @@ def load(key: str) -> Optional[Dict]:
         or envelope.get("checksum") != payload_checksum(envelope["payload"])
     ):
         invalidate(key)
+        spans.emit_instant("cache/corrupt_unlink", key=key)
         return None
+    spans.emit_instant("cache/hit", key=key)
     return envelope["payload"]
 
 
@@ -133,6 +144,7 @@ def store(key: str, payload: Dict) -> None:
         with os.fdopen(fd, "w") as handle:
             handle.write(json.dumps(envelope))
         os.replace(tmp_name, path)
+        spans.emit_instant("cache/store", key=key)
     except BaseException:
         try:
             os.unlink(tmp_name)

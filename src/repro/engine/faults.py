@@ -18,6 +18,13 @@ attempt is retried.
 
 When ``REPRO_FAULT_PLAN`` is unset (production), every hook is a single
 ``os.environ.get`` returning immediately — sweeps pay nothing.
+
+When sweep telemetry is active (:mod:`repro.obs.spans`), each fault that
+actually fires publishes a ``fault/injected`` instant (kind + point)
+before it takes effect — flushed per line, so even a ``kill`` fault's
+event survives the ``os._exit`` that follows it. A chaos run's log
+therefore shows injected causes right next to the engine's observed
+effects (crash/timeout/retry spans).
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ import pathlib
 import time
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
+
+from repro.obs import spans
 
 #: Environment variable holding the path of the active fault-plan file.
 PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -185,6 +194,8 @@ def on_point_start(model: str, matrix: str, variant: str) -> None:
         spec = plan.specs[index]
         if spec.kind == "corrupt_cache" or not plan._claim(index):
             continue
+        spans.emit_instant("fault/injected", kind=spec.kind,
+                           point=f"{model}:{matrix}:{variant}")
         if spec.kind == "kill":
             os._exit(17)
         if spec.kind == "hang":
@@ -216,5 +227,7 @@ def corrupt_cache_path(model: str, matrix: str, variant: str,
         except OSError:
             return False
         path.write_text(raw[: max(1, len(raw) // 2)])
+        spans.emit_instant("fault/injected", kind=spec.kind,
+                           point=f"{model}:{matrix}:{variant}")
         return True
     return False

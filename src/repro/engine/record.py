@@ -187,6 +187,31 @@ class RunRecord:
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
+    def summary_row(self) -> Dict[str, Any]:
+        """A deterministic, JSON-compatible digest of this record.
+
+        The fleet roll-up and the run report are built from these rows:
+        everything here is a pure function of the record (no wall clock,
+        no environment), which is what keeps a report byte-identical
+        across serial and parallel runs of the same plan.
+        """
+        return {
+            "model": self.model,
+            "matrix": self.matrix,
+            "variant": self.variant,
+            "cycles": self.cycles,
+            "runtime_seconds": self.runtime_seconds,
+            "c_nnz": self.c_nnz,
+            "flops": self.flops,
+            "total_traffic_bytes": self.total_traffic,
+            "normalized_traffic": self.normalized_traffic,
+            "pe_utilization": self.pe_utilization,
+            "operational_intensity": self.operational_intensity,
+            "gflops": self.gflops,
+            "fingerprint": self.fingerprint(),
+            "has_metrics": self.metrics is not None,
+        }
+
     # -- derived metrics (superset of both legacy result types) ---------
     @property
     def total_traffic(self) -> int:

@@ -33,6 +33,17 @@ parallel workers both go through it, which is what makes parallel,
 retried, or resumed execution produce byte-identical records to a cold
 serial run — the guarantee the chaos suite (``tests/test_chaos.py``)
 enforces under injected faults.
+
+When telemetry is active (:mod:`repro.obs.spans`, CLI ``--trace-dir``)
+the engine publishes its whole lifecycle into the span stream: a
+``sweep/point`` span per attempt (parent side, carrying slot/outcome), a
+``point/execute`` span per computed point (worker side), ``sweep/<stat>``
+instants mirroring every ``SweepResult.stats`` increment (emitted at the
+single place the stat increments, so counts agree exactly),
+``sweep/backoff`` delays, ``sweep/timeout_kill``, and ``sweep/checkpoint``
+writes. ``collect_metrics=True`` (CLI ``--metrics``) additionally attaches
+a :class:`~repro.obs.MetricsRegistry` to every computed point and stores
+the blob on its record for the fleet roll-up. Both are strictly opt-in.
 """
 
 from __future__ import annotations
@@ -71,6 +82,13 @@ from repro.engine.record import (
     _config_payload,
 )
 from repro.engine.registry import available_models, default_config_for, get_model
+from repro.obs import spans
+
+#: Environment flag that tells workers to attach a MetricsRegistry to
+#: every point they compute (set by ``run_sweep(collect_metrics=True)``
+#: so the instruction crosses process boundaries with zero protocol
+#: changes; unset means the default no-instrumentation fast path).
+METRICS_ENV = "REPRO_SWEEP_METRICS"
 
 #: Models evaluated by the paper's headline figures (MatRaptor is an
 #: extension and is opted into explicitly).
@@ -232,6 +250,11 @@ class SweepResult(Dict[SweepPoint, RunRecord]):
             reasons; empty on a clean sweep.
         stats: Counter totals (``executed``, ``cached``, ``retries``,
             ``timeouts``, ``crashes``, ``errors``, ``quarantined``).
+        provenance: Per completed point: where its record came from
+            (``source``: 'cached' or 'computed'), how many attempts it
+            took, and — for computed points — the wall-clock seconds.
+            Prerequisite Gamma runs computed for baseline points appear
+            too, so a run report can account for every evaluation.
     """
 
     def __init__(self) -> None:
@@ -241,6 +264,7 @@ class SweepResult(Dict[SweepPoint, RunRecord]):
             "executed": 0, "cached": 0, "retries": 0,
             "timeouts": 0, "crashes": 0, "errors": 0, "quarantined": 0,
         }
+        self.provenance: Dict[SweepPoint, Dict] = {}
 
     @property
     def complete(self) -> bool:
@@ -307,25 +331,47 @@ def cached_program(matrix: str, variant: str, config: GammaConfig):
 # ----------------------------------------------------------------------
 # Point execution (shared by the serial facade and parallel workers)
 # ----------------------------------------------------------------------
-def execute_point(point: SweepPoint) -> RunRecord:
+def metrics_requested() -> bool:
+    """Whether this process should instrument the points it computes.
+
+    ``run_sweep(collect_metrics=True)`` sets :data:`METRICS_ENV`, which
+    worker processes inherit — the flag crosses process boundaries the
+    same way the fault plan and span directory do.
+    """
+    return os.environ.get(METRICS_ENV, "") == "1"
+
+
+def execute_point(point: SweepPoint,
+                  collect_metrics: Optional[bool] = None) -> RunRecord:
     """Evaluate one sweep point, reading/populating the disk cache.
+
+    ``collect_metrics=None`` defers to :func:`metrics_requested`. When
+    metrics are requested and the cached Gamma record predates them
+    (no blob), the point is recomputed instrumented and the entry is
+    overwritten — behaviorally identical (the fingerprint excludes
+    metrics), just richer.
 
     The fault hooks (:mod:`repro.engine.faults`) are no-ops unless a
     fault plan is active — the chaos suite uses them to make this exact
     code path crash, hang, or poison its cache write on demand.
     """
+    if collect_metrics is None:
+        collect_metrics = metrics_requested()
+    want_metrics = collect_metrics and point.model == "gamma"
     key = record_key(point)
     payload = diskcache.load(key)
     if payload is not None:
-        try:
-            return RunRecord.from_payload(payload)
-        except (KeyError, TypeError, ValueError):
-            pass  # stale/foreign entry: recompute and overwrite
+        if not (want_metrics and payload.get("metrics") is None):
+            try:
+                return RunRecord.from_payload(payload)
+            except (KeyError, TypeError, ValueError):
+                pass  # stale/foreign entry: recompute and overwrite
 
     faults.on_point_start(point.model, point.matrix, point.variant)
 
     from repro.matrices import suite
 
+    compute_start = time.time()
     a, b = suite.operands(point.matrix)
     config = point.resolved_config()
     model = get_model(point.model)
@@ -333,11 +379,15 @@ def execute_point(point: SweepPoint) -> RunRecord:
         program = cached_program(point.matrix, point.variant, config)
         record = model.run(
             a, b, config, matrix=point.matrix, variant=point.variant,
-            multi_pe=point.multi_pe, program=program)
+            multi_pe=point.multi_pe, program=program,
+            collect_metrics=want_metrics)
     else:
         c_nnz = execute_point(SweepPoint("gamma", point.matrix)).c_nnz
         record = model.run(a, b, config, matrix=point.matrix, c_nnz=c_nnz)
     diskcache.store(key, record.to_payload())
+    spans.emit_span("point/execute", compute_start,
+                    point=point.label(), model=point.model,
+                    metrics=bool(want_metrics))
     faults.corrupt_cache_path(
         point.model, point.matrix, point.variant,
         diskcache.entry_path(key))
@@ -427,6 +477,8 @@ def save_checkpoint(points: Sequence[SweepPoint],
             f.to_payload() for f in result.quarantined.values()
         ],
     })
+    spans.emit_instant("sweep/checkpoint", completed=len(result),
+                       quarantined=len(result.quarantined))
 
 
 def load_checkpoint(
@@ -454,6 +506,7 @@ def run_sweep(
     policy: Optional[SweepPolicy] = None,
     metrics=None,
     resume: bool = False,
+    collect_metrics: bool = False,
 ) -> SweepResult:
     """Execute a sweep, parallelizing cache misses across processes.
 
@@ -487,6 +540,12 @@ def run_sweep(
             exact plan: its quarantined points are skipped (reported as
             ``previous-run`` failures) instead of re-burning retries,
             and — via the disk cache — nothing already computed reruns.
+        collect_metrics: Attach a
+            :class:`~repro.obs.MetricsRegistry` to every *computed*
+            point (CLI ``--metrics``), serializing the blob onto its
+            record; propagated to worker processes via
+            :data:`METRICS_ENV`. Off by default — sweeps pay nothing
+            unless asked.
 
     Returns:
         Every completed point mapped to its record, serial or parallel
@@ -495,11 +554,25 @@ def run_sweep(
     policy = policy or SweepPolicy()
     ordered = list(dict.fromkeys(points))
     result = SweepResult()
+    failed_attempts: Dict[SweepPoint, int] = {}
 
-    def count(name: str, amount: int = 1) -> None:
+    def count(name: str, amount: int = 1,
+              point: Optional[SweepPoint] = None) -> None:
+        """Update stats and mirror the event into the active telemetry.
+
+        Every ``sweep/<name>`` span instant is emitted *here*, right
+        where the stat increments, which is what makes span counts and
+        ``SweepResult.stats`` agree exactly (the chaos-integration test
+        pins this).
+        """
         result.stats[name] = result.stats.get(name, 0) + amount
         if metrics is not None:
             metrics.inc(f"sweep/{name}", amount)
+        if point is not None and name in ("errors", "timeouts", "crashes"):
+            failed_attempts[point] = failed_attempts.get(point, 0) + 1
+        if spans.active():
+            attrs = {"point": point.label()} if point is not None else {}
+            spans.emit_instant(f"sweep/{name}", **attrs)
 
     skip: Dict[SweepPoint, PointFailure] = {}
     if resume:
@@ -512,7 +585,7 @@ def run_sweep(
     for point, failure in skip.items():
         if point in ordered:
             result.quarantined[point] = failure
-            count("quarantined")
+            count("quarantined", point=point)
 
     runnable = [p for p in ordered if p not in result.quarantined]
     pending = pending_points(runnable)
@@ -529,7 +602,12 @@ def run_sweep(
     def on_point_done(point: SweepPoint, record: RunRecord,
                       wall_seconds: float) -> None:
         computed.add(point)
-        count("executed")
+        count("executed", point=point)
+        result.provenance[point] = {
+            "source": "computed",
+            "attempts": failed_attempts.get(point, 0) + 1,
+            "wall_seconds": wall_seconds,
+        }
         if on_executed is not None:
             on_executed(point, record, wall_seconds)
         if diskcache.cache_enabled():
@@ -537,7 +615,7 @@ def run_sweep(
 
     def on_point_quarantined(failure: PointFailure) -> None:
         result.quarantined[failure.point] = failure
-        count("quarantined")
+        count("quarantined", point=failure.point)
         if policy.fail_fast:
             if diskcache.cache_enabled():
                 save_checkpoint(ordered, result)
@@ -545,6 +623,23 @@ def run_sweep(
         if diskcache.cache_enabled():
             save_checkpoint(ordered, result)
 
+    if collect_metrics:
+        os.environ[METRICS_ENV] = "1"
+    try:
+        return _run_sweep_body(
+            ordered, pending_set, pending, prerequisites, result,
+            computed, workers, serial, policy, count,
+            on_result, on_point_done, on_point_quarantined)
+    finally:
+        if collect_metrics:
+            os.environ.pop(METRICS_ENV, None)
+
+
+def _run_sweep_body(
+    ordered, pending_set, pending, prerequisites, result,
+    computed, workers, serial, policy, count,
+    on_result, on_point_done, on_point_quarantined,
+) -> SweepResult:
     use_processes = (not serial and diskcache.cache_enabled()
                      and (workers is None or workers > 1))
     if use_processes:
@@ -581,7 +676,9 @@ def run_sweep(
                 record, wall_seconds = outcome
                 on_point_done(point, record, wall_seconds)
             if point not in computed:
-                count("cached")
+                count("cached", point=point)
+                result.provenance.setdefault(
+                    point, {"source": "cached", "attempts": 0})
         result[point] = record
         if on_result is not None:
             on_result(point, record)
@@ -601,18 +698,28 @@ def _execute_with_retries(
     attempt = 0
     last_error = repr(first_error) if first_error is not None else ""
     if first_error is not None:
-        count("errors")
+        count("errors", point=point)
         attempt = 1
     while attempt <= policy.max_retries:
         if attempt > 0:
-            count("retries")
+            count("retries", point=point)
+            backoff_start = time.time()
             time.sleep(policy.backoff_delay(key, attempt - 1))
+            spans.emit_span("sweep/backoff", backoff_start,
+                            point=point.label(), attempt=attempt)
         start = time.perf_counter()
+        span_start = time.time()
         try:
             record = execute_point(point)
+            spans.emit_span("sweep/point", span_start,
+                            point=point.label(), attempt=attempt,
+                            outcome="ok")
             return record, time.perf_counter() - start
         except Exception as exc:
-            count("errors")
+            spans.emit_span("sweep/point", span_start,
+                            point=point.label(), attempt=attempt,
+                            outcome="error")
+            count("errors", point=point)
             last_error = repr(exc)
             attempt += 1
     return PointFailure(point, attempt, "error", last_error)
@@ -652,18 +759,28 @@ def _worker_loop(conn) -> None:
 class _Slot:
     """One worker process + pipe, respawned after kills and crashes."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, index: int = 0) -> None:
         self._ctx = ctx
+        self.index = index
         self.busy_point: Optional[SweepPoint] = None
         self.busy_attempt = 0
         self.deadline: Optional[float] = None
+        self.assigned_ts: float = 0.0
         self._spawn()
 
     def _spawn(self) -> None:
         self.conn, child_conn = multiprocessing.Pipe()
         self.process = self._ctx.Process(
             target=_worker_loop, args=(child_conn,), daemon=True)
-        self.process.start()
+        # The slot index rides to the child through the environment
+        # (fork and spawn contexts both inherit it at start()); the
+        # worker's span recorder labels its lane with it. Harmless when
+        # telemetry is off.
+        os.environ[spans.SPAN_SLOT_ENV] = str(self.index)
+        try:
+            self.process.start()
+        finally:
+            os.environ.pop(spans.SPAN_SLOT_ENV, None)
         child_conn.close()
 
     def assign(self, point: SweepPoint, attempt: int,
@@ -672,6 +789,7 @@ class _Slot:
         self.busy_attempt = attempt
         self.deadline = (time.monotonic() + timeout
                          if timeout is not None else None)
+        self.assigned_ts = time.time()
         self.conn.send(point)
 
     def release(self) -> None:
@@ -720,7 +838,8 @@ def _run_batch_parallel(
     if not batch:
         return
     ctx = multiprocessing.get_context()
-    slots = [_Slot(ctx) for _ in range(min(workers, len(batch)))]
+    slots = [_Slot(ctx, index)
+             for index in range(min(workers, len(batch)))]
     # (ready_at, sequence, attempt, point): a heap so backoff delays and
     # fresh points interleave correctly; sequence breaks ties FIFO.
     sequence = itertools.count()
@@ -734,10 +853,12 @@ def _run_batch_parallel(
              error: str) -> None:
         nonlocal outstanding
         count({"timeout": "timeouts", "crash": "crashes"}
-              .get(reason, "errors"))
+              .get(reason, "errors"), point=slot_point)
         if attempt < policy.max_retries:
-            count("retries")
+            count("retries", point=slot_point)
             delay = policy.backoff_delay(record_key(slot_point), attempt)
+            spans.emit_instant("sweep/backoff", point=slot_point.label(),
+                               attempt=attempt + 1, delay_seconds=delay)
             heapq.heappush(queue, (
                 time.monotonic() + delay, next(sequence),
                 attempt + 1, slot_point))
@@ -775,15 +896,23 @@ def _run_batch_parallel(
             for conn in readable:
                 slot = by_conn[conn]
                 point, attempt = slot.busy_point, slot.busy_attempt
+                assigned_ts = slot.assigned_ts
                 try:
                     outcome = slot.conn.recv()
                 except (EOFError, OSError):
                     # Hard worker death (os._exit, segfault, OOM-kill).
                     slot.respawn()
+                    spans.emit_span(
+                        "sweep/point", assigned_ts, point=point.label(),
+                        attempt=attempt, slot=slot.index, outcome="crash")
                     fail(point, attempt, "crash",
                          "worker process died mid-point")
                     continue
                 slot.release()
+                spans.emit_span(
+                    "sweep/point", assigned_ts, point=point.label(),
+                    attempt=attempt, slot=slot.index,
+                    outcome="ok" if outcome["ok"] else "error")
                 if outcome["ok"]:
                     outstanding -= 1
                     record = RunRecord.from_payload(outcome["payload"])
@@ -798,7 +927,16 @@ def _run_batch_parallel(
                         and now >= slot.deadline
                         and not slot.conn.poll()):
                     point, attempt = slot.busy_point, slot.busy_attempt
+                    assigned_ts = slot.assigned_ts
                     slot.respawn()
+                    spans.emit_span(
+                        "sweep/point", assigned_ts, point=point.label(),
+                        attempt=attempt, slot=slot.index,
+                        outcome="timeout")
+                    spans.emit_instant(
+                        "sweep/timeout_kill", point=point.label(),
+                        slot=slot.index,
+                        timeout_seconds=policy.timeout_seconds)
                     fail(point, attempt, "timeout",
                          f"exceeded {policy.timeout_seconds}s timeout")
     finally:

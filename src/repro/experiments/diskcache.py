@@ -1,24 +1,46 @@
-"""Back-compat shim: the disk cache now lives in :mod:`repro.engine.diskcache`.
+"""Deprecated shim: the disk cache lives in :mod:`repro.engine.diskcache`.
 
 It moved into the engine so sweep workers can use it without importing the
 experiment harness (which imports the runner, which imports the engine —
-a cycle). Import from ``repro.engine.diskcache`` in new code.
+a cycle). This module re-exports the full public surface so old imports
+keep working, but emits a :class:`DeprecationWarning` on import; switch
+to ``repro.engine.diskcache``, which is also the single code path that
+publishes ``cache/*`` telemetry events (:mod:`repro.obs.spans`) — going
+through this shim changes nothing, the events come from the real
+implementation either way.
 """
 
+import warnings
+
 from repro.engine.diskcache import (  # noqa: F401
+    ENTRY_FORMAT,
     cache_dir,
     cache_enabled,
     cache_key,
     contains,
+    entry_path,
+    invalidate,
     load,
+    payload_checksum,
     store,
 )
 
+warnings.warn(
+    "repro.experiments.diskcache is deprecated; import "
+    "repro.engine.diskcache instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 __all__ = [
+    "ENTRY_FORMAT",
     "cache_dir",
     "cache_enabled",
     "cache_key",
     "contains",
+    "entry_path",
+    "invalidate",
     "load",
+    "payload_checksum",
     "store",
 ]

@@ -64,15 +64,19 @@ class ExperimentRunner:
 
     def sweep(self, points: Iterable[SweepPoint],
               workers: Optional[int] = None,
-              serial: bool = False) -> List[RunRecord]:
+              serial: bool = False,
+              collect_metrics: bool = False) -> List[RunRecord]:
         """Evaluate many points, parallelizing disk-cache misses.
 
         The figures need every record, so a sweep that quarantined any
         point (see :class:`~repro.engine.sweep.SweepPolicy`) raises here
         with the failure list instead of handing back partial data.
+        ``collect_metrics`` asks gamma points for their cycle-level
+        MetricsRegistry blob (see :func:`repro.engine.sweep.run_sweep`).
         """
         points = list(points)
-        results = run_sweep(points, workers=workers, serial=serial)
+        results = run_sweep(points, workers=workers, serial=serial,
+                            collect_metrics=collect_metrics)
         if results.quarantined:
             detail = "; ".join(
                 f"{f.point.label()}: {f.reason} after {f.attempts} "

@@ -1,4 +1,4 @@
-"""Cycle-level observability: metrics, structured traces, profiling.
+"""Cycle-level and sweep-scale observability.
 
 The simulator components accept an optional
 :class:`~repro.obs.metrics.MetricsRegistry` and publish counters,
@@ -6,8 +6,16 @@ gauges, histograms, and bounded time series into it at fiber/line
 granularity; :mod:`repro.obs.events` gives
 :class:`~repro.core.trace.ExecutionTrace` a schema-versioned JSONL form;
 :mod:`repro.obs.profile` runs one instrumented point and renders the
-``repro profile`` report. Everything here is opt-in — an uninstrumented
-run touches none of it.
+``repro profile`` report.
+
+Above the single run sits the sweep telemetry pipeline:
+:mod:`repro.obs.spans` records cross-process span/instant events (the
+sweep engine and disk cache publish into it), :mod:`repro.obs.traceevent`
+exports merged streams as Perfetto-loadable Chrome trace JSON,
+:mod:`repro.obs.rollup` folds the records into deterministic fleet
+aggregates, and :mod:`repro.obs.report` renders the unified run report
+(``repro report``). Everything here is opt-in — an uninstrumented run
+touches none of it.
 """
 
 from repro.obs.events import (
@@ -29,9 +37,31 @@ from repro.obs.metrics import (
     as_registry,
 )
 from repro.obs.profile import ProfileRun, profile_point, render_report
+from repro.obs.rollup import (
+    ROLLUP_SCHEMA_VERSION,
+    execution_rollup,
+    rollup as sweep_rollup,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    finalize_sweep_telemetry,
+    generate_report,
+)
+from repro.obs.spans import SPAN_SCHEMA_VERSION
+from repro.obs.traceevent import (
+    TRACE_EVENT_SCHEMA_VERSION,
+    chrome_trace_from_execution_trace,
+    chrome_trace_from_run_log,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "METRICS_SCHEMA_VERSION",
+    "REPORT_SCHEMA_VERSION",
+    "ROLLUP_SCHEMA_VERSION",
+    "SPAN_SCHEMA_VERSION",
+    "TRACE_EVENT_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "TASK_EVENT_FIELDS",
     "Counter",
@@ -41,11 +71,19 @@ __all__ = [
     "TimeSeries",
     "ProfileRun",
     "as_registry",
+    "chrome_trace_from_execution_trace",
+    "chrome_trace_from_run_log",
     "event_schema",
+    "execution_rollup",
+    "finalize_sweep_telemetry",
+    "generate_report",
     "profile_point",
     "read_jsonl",
     "render_report",
+    "sweep_rollup",
+    "validate_chrome_trace",
     "validate_file",
     "validate_lines",
+    "write_chrome_trace",
     "write_jsonl",
 ]

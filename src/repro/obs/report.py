@@ -1,0 +1,317 @@
+"""The unified run report: one sweep directory in, HTML + markdown out.
+
+:func:`finalize_sweep_telemetry` is called by the sweep CLI after a
+telemetry-enabled run: it merges the per-process span files into
+``run_log.jsonl``, exports the Perfetto-loadable ``trace.json``, and
+writes ``sweep.json`` — the machine-readable summary with two top-level
+keys:
+
+* ``"summary"`` — the deterministic roll-up (:func:`repro.obs.rollup.rollup`):
+  a pure function of the result records, byte-identical whether the plan
+  ran serially or across worker slots.
+* ``"execution"`` — execution-order facts (stats, attempts, wall time,
+  slot utilization, event counts) that legitimately differ between runs.
+
+:func:`generate_report` (the ``repro report`` subcommand) then renders
+``report.md`` and a self-contained ``report.html`` from ``sweep.json``.
+The default report uses only the ``summary`` key, which is what makes it
+reproducible; pass ``include_timing=True`` for the execution appendix.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs import spans as spans_mod
+from repro.obs import traceevent
+from repro.obs.rollup import execution_rollup, rollup
+
+#: Bump when the sweep.json layout changes.
+REPORT_SCHEMA_VERSION = 1
+
+#: Canonical filenames inside a sweep telemetry directory.
+SPAN_SUBDIR = "spans"
+RUN_LOG_FILENAME = "run_log.jsonl"
+TRACE_FILENAME = "trace.json"
+SUMMARY_FILENAME = "sweep.json"
+REPORT_MD_FILENAME = "report.md"
+REPORT_HTML_FILENAME = "report.html"
+
+
+def span_directory(directory: Union[str, Path]) -> Path:
+    """Where a sweep's raw per-process span files go (workers inherit)."""
+    return Path(directory) / SPAN_SUBDIR
+
+
+def finalize_sweep_telemetry(directory: Union[str, Path],
+                             result) -> Dict[str, Path]:
+    """Merge spans, export the trace, and write the sweep summary.
+
+    Safe to call when telemetry was never enabled (an empty or missing
+    span subdirectory just produces an empty run log and trace); the
+    deterministic summary is always written from ``result``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    merged = spans_mod.merge_directory(span_directory(directory))
+    run_log_path = directory / RUN_LOG_FILENAME
+    spans_mod.write_run_log(run_log_path, merged)
+    trace_path = directory / TRACE_FILENAME
+    traceevent.write_chrome_trace(
+        trace_path,
+        traceevent.chrome_trace_from_run_log(merged["spans"]))
+    summary_path = directory / SUMMARY_FILENAME
+    payload = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "summary": rollup(result),
+        "execution": execution_rollup(result, merged["spans"]),
+    }
+    summary_path.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n",
+        encoding="utf-8")
+    return {
+        "run_log": run_log_path,
+        "trace": trace_path,
+        "summary": summary_path,
+    }
+
+
+def load_summary(directory: Union[str, Path]) -> Dict[str, Any]:
+    """Read and version-check a sweep directory's ``sweep.json``."""
+    path = Path(directory) / SUMMARY_FILENAME
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported sweep summary schema "
+            f"{payload.get('schema')!r} in {path}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Rendering (pure functions of the summary payload)
+# ----------------------------------------------------------------------
+def _fmt(value: Any) -> str:
+    """Deterministic cell formatting (floats to 4 significant digits)."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _clip(text: str, limit: int = 200) -> str:
+    """Single-line, bounded cell text for failure logs in tables."""
+    flat = " ".join(str(text).split())
+    return flat if len(flat) <= limit else flat[: limit - 1] + "…"
+
+
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(cell) for cell in row) + " |")
+    return lines
+
+
+def _sections(summary_payload: Dict[str, Any],
+              include_timing: bool) -> List[Dict[str, Any]]:
+    """The report as (title, lead, headers, rows) sections.
+
+    One structure drives both renderers, so markdown and HTML cannot
+    drift apart.
+    """
+    summary = summary_payload["summary"]
+    sections: List[Dict[str, Any]] = []
+
+    speedup = summary.get("speedup", [])
+    if speedup:
+        sections.append({
+            "title": "Speedup over MKL",
+            "lead": ("Geometric-mean speedup per model over the "
+                     "matrices shared with the MKL reference."),
+            "headers": ["model", "matrices", "gmean", "min", "max"],
+            "rows": [[r["model"], r["matrices"], r["gmean_speedup"],
+                      r["min_speedup"], r["max_speedup"]]
+                     for r in speedup],
+        })
+
+    traffic = summary.get("traffic", [])
+    if traffic:
+        sections.append({
+            "title": "Normalized DRAM traffic",
+            "lead": ("Total/compulsory DRAM bytes (1.0 = perfect "
+                     "reuse), geometric mean per model."),
+            "headers": ["model", "matrices", "gmean", "worst"],
+            "rows": [[r["model"], r["matrices"],
+                      r["gmean_normalized_traffic"],
+                      r["worst_normalized_traffic"]]
+                     for r in traffic],
+        })
+
+    metrics = summary.get("metrics")
+    if metrics:
+        rate = metrics.get("fibercache_hit_rate")
+        sections.append({
+            "title": "FiberCache",
+            "lead": (f"{metrics['instrumented_points']} instrumented "
+                     f"point(s); overall hit rate "
+                     f"{_fmt(rate) if rate is not None else 'n/a'}."),
+            "headers": ["matrix", "variant", "banks", "min hit",
+                        "mean hit", "max hit", "imbalance"],
+            "rows": [[r["matrix"], r["variant"], r["banks"],
+                      r["min_hit_rate"], r["mean_hit_rate"],
+                      r["max_hit_rate"], r["load_imbalance"]]
+                     for r in metrics.get("bank_hit_rates", [])],
+        })
+
+    sections.append({
+        "title": "Records",
+        "lead": (f"{summary['num_records']} record(s) across "
+                 f"{len(summary['matrices'])} matrix/matrices and "
+                 f"{len(summary['models'])} model(s)."),
+        "headers": ["model", "matrix", "variant", "cycles",
+                    "runtime (s)", "norm. traffic", "PE util.",
+                    "fingerprint"],
+        "rows": [[r["model"], r["matrix"], r["variant"], r["cycles"],
+                  r["runtime_seconds"], r["normalized_traffic"],
+                  r["pe_utilization"], r["fingerprint"][:12]]
+                 for r in summary.get("records", [])],
+    })
+
+    quarantined = summary.get("quarantined", [])
+    if quarantined:
+        sections.append({
+            "title": "Quarantined points",
+            "lead": ("These points exhausted their retry budget and "
+                     "have no record."),
+            "headers": ["point", "reason", "attempts", "failure log"],
+            "rows": [[q["point"], q["reason"], q["attempts"],
+                      _clip(q.get("error", ""))]
+                     for q in quarantined],
+        })
+
+    if include_timing:
+        execution = summary_payload.get("execution", {})
+        stats = execution.get("stats", {})
+        sections.append({
+            "title": "Execution (timing appendix)",
+            "lead": ("Execution-order facts — these vary between "
+                     "serial and parallel runs of the same plan. "
+                     f"Computed {execution.get('points_computed', 0)}, "
+                     f"cached {execution.get('points_cached', 0)}, "
+                     "compute wall "
+                     f"{_fmt(execution.get('compute_wall_seconds', 0.0))}"
+                     " s."),
+            "headers": ["stat", "count"],
+            "rows": [[name, stats[name]] for name in sorted(stats)],
+        })
+        slots = execution.get("slot_utilization", [])
+        if slots:
+            sections.append({
+                "title": "Slot utilization",
+                "lead": ("Busy share of the observed sweep window per "
+                         "worker slot (None = parent/serial lane)."),
+                "headers": ["slot", "points", "busy (s)", "utilization"],
+                "rows": [[s["slot"], s["points"], s["busy_seconds"],
+                          s["utilization"]] for s in slots],
+            })
+    return sections
+
+
+def render_markdown(summary_payload: Dict[str, Any],
+                    include_timing: bool = False) -> str:
+    """The report as markdown (deterministic for a given summary)."""
+    summary = summary_payload["summary"]
+    lines = [
+        "# Sweep run report",
+        "",
+        f"Models: {', '.join(summary['models'])}  ",
+        f"Matrices: {', '.join(summary['matrices'])}  ",
+        f"Records: {summary['num_records']}"
+        + (f" · quarantined: {len(summary['quarantined'])}"
+           if summary.get("quarantined") else ""),
+    ]
+    for section in _sections(summary_payload, include_timing):
+        lines += ["", f"## {section['title']}", "", section["lead"]]
+        if section["rows"]:
+            lines.append("")
+            lines += _md_table(section["headers"], section["rows"])
+    return "\n".join(lines) + "\n"
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a1a; padding: 0 1rem; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #bbb; padding: .25rem .6rem;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #eee; }
+td:first-child, th:first-child { text-align: left; }
+p.lead { color: #444; }
+""".strip()
+
+
+def render_html(summary_payload: Dict[str, Any],
+                include_timing: bool = False) -> str:
+    """The report as a single self-contained HTML page (no external
+    assets, no scripts — deterministic for a given summary)."""
+    summary = summary_payload["summary"]
+    esc = html_escape.escape
+    parts = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\">",
+        "<title>Sweep run report</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        "<h1>Sweep run report</h1>",
+        "<p class=\"lead\">"
+        f"Models: {esc(', '.join(summary['models']))}<br>"
+        f"Matrices: {esc(', '.join(summary['matrices']))}<br>"
+        f"Records: {summary['num_records']}</p>",
+    ]
+    for section in _sections(summary_payload, include_timing):
+        parts.append(f"<h2>{esc(section['title'])}</h2>")
+        parts.append(f"<p class=\"lead\">{esc(section['lead'])}</p>")
+        if section["rows"]:
+            parts.append("<table><thead><tr>")
+            parts += [f"<th>{esc(h)}</th>" for h in section["headers"]]
+            parts.append("</tr></thead><tbody>")
+            for row in section["rows"]:
+                parts.append(
+                    "<tr>"
+                    + "".join(f"<td>{esc(_fmt(cell))}</td>"
+                              for cell in row)
+                    + "</tr>")
+            parts.append("</tbody></table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def generate_report(directory: Union[str, Path],
+                    include_timing: bool = False,
+                    output_dir: Optional[Union[str, Path]] = None,
+                    ) -> Dict[str, Path]:
+    """Render ``report.md`` and ``report.html`` from a sweep directory.
+
+    Reads only ``sweep.json``; the default report consumes just its
+    deterministic ``summary`` key, so two directories produced by
+    serial and parallel runs of the same plan yield byte-identical
+    reports. Returns the written paths.
+    """
+    payload = load_summary(directory)
+    out_dir = Path(output_dir) if output_dir is not None \
+        else Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    md_path = out_dir / REPORT_MD_FILENAME
+    html_path = out_dir / REPORT_HTML_FILENAME
+    md_path.write_text(render_markdown(payload, include_timing),
+                       encoding="utf-8")
+    html_path.write_text(render_html(payload, include_timing),
+                         encoding="utf-8")
+    return {"markdown": md_path, "html": html_path}

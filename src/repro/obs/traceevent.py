@@ -1,0 +1,347 @@
+"""Chrome trace-event (Perfetto-loadable) export of telemetry streams.
+
+Two sources share one output format (the Trace Event JSON object format,
+``{"traceEvents": [...]}`` — load it at https://ui.perfetto.dev or
+``chrome://tracing``):
+
+* :func:`chrome_trace_from_run_log` renders a merged sweep run log
+  (:mod:`repro.obs.spans`) as one process with a lane per worker slot:
+  ``sweep/point`` attempts become duration slices on their slot's lane,
+  cache/checkpoint/stat events become instants, and retries/quarantines
+  become *flow* arrows connecting a failed attempt to the attempt (or
+  verdict) it led to — the fate of a flaky point reads as one connected
+  chain across lanes.
+* :func:`chrome_trace_from_execution_trace` renders a single simulated
+  run (:class:`~repro.core.trace.ExecutionTrace`): a lane per PE with
+  one slice per task (1 simulated cycle = 1 trace microsecond) plus a
+  phase-window lane summarizing compute vs memory character over time.
+
+Timestamps are normalized to start at zero and exported as integer
+microseconds, sorted non-decreasing — the golden schema test pins the
+envelope (``ph``/``ts``/``pid``/``tid`` fields, monotonicity, known
+phase types) so drift against external consumers is caught here, not in
+someone's trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+#: Bump when the exported event envelope changes (golden-tested).
+TRACE_EVENT_SCHEMA_VERSION = 1
+
+#: Phase types this exporter emits (subset of the Chrome format).
+ALLOWED_PHASES = ("X", "i", "M", "s", "f")
+
+#: Synthetic pid of the sweep process group (originals ride in args).
+SWEEP_PID = 1
+
+#: tid of the parent/serial lane; slot ``n`` maps to tid ``n + 1``.
+PARENT_TID = 0
+
+
+def schema_description() -> Dict[str, Any]:
+    """The exported envelope as a JSON-compatible description.
+
+    This is what the golden file pins: the schema version, the phase
+    types that may appear, and the fields (with JSON types) required on
+    every non-metadata event.
+    """
+    return {
+        "schema": TRACE_EVENT_SCHEMA_VERSION,
+        "phases": list(ALLOWED_PHASES),
+        "event": {
+            "name": "string",
+            "cat": "string",
+            "ph": "string",
+            "ts": "integer",
+            "pid": "integer",
+            "tid": "integer",
+        },
+        "duration_event": {"dur": "integer"},
+        "flow_event": {"id": "integer"},
+        "container": {
+            "traceEvents": "array",
+            "displayTimeUnit": "string",
+            "otherData": "object",
+        },
+    }
+
+
+def _category(name: str) -> str:
+    return name.split("/", 1)[0] if "/" in name else name
+
+
+def _microseconds(seconds: float) -> int:
+    return int(round(seconds * 1e6))
+
+
+def _metadata(pid: int, tid: Optional[int], kind: str,
+              label: str) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "name": kind, "ph": "M", "ts": 0, "pid": pid,
+        "cat": "__metadata", "args": {"name": label},
+    }
+    event["tid"] = tid if tid is not None else 0
+    return event
+
+
+def _lane_of(record: Dict[str, Any]) -> int:
+    """The slot lane of a merged span record (parent lane otherwise)."""
+    slot = record.get("slot")
+    if slot is None:
+        slot = record.get("attrs", {}).get("slot")
+    if isinstance(slot, int) and slot >= 0:
+        return slot + 1
+    return PARENT_TID
+
+
+def chrome_trace_from_run_log(
+    events: Iterable[Dict[str, Any]],
+    label: str = "sweep",
+) -> Dict[str, Any]:
+    """Render merged run-log events as a Chrome trace-event object.
+
+    ``events`` is the event list from
+    :func:`repro.obs.spans.merge_directory` (``["spans"]``) or
+    :func:`repro.obs.spans.read_run_log`.
+    """
+    events = [e for e in events if isinstance(e.get("ts"), (int, float))]
+    t0 = min((e["ts"] for e in events), default=0.0)
+    out: List[Dict[str, Any]] = []
+    lanes: Dict[int, None] = {PARENT_TID: None}
+    flow_id = 0
+    #: (point label) -> list of (ts_us, lane) of its sweep/point slices,
+    #: used to anchor retry/quarantine flow arrows.
+    attempt_slices: Dict[str, List[Tuple[int, int]]] = {}
+
+    for record in events:
+        name = record.get("name", "event")
+        attrs = dict(record.get("attrs", {}))
+        attrs["pid"] = record.get("pid")
+        lane = _lane_of(record)
+        lanes[lane] = None
+        ts = _microseconds(record["ts"] - t0)
+        base = {
+            "name": name,
+            "cat": _category(name),
+            "pid": SWEEP_PID,
+            "tid": lane,
+            "ts": ts,
+            "args": attrs,
+        }
+        if record.get("type") == "span":
+            base["ph"] = "X"
+            base["dur"] = max(0, _microseconds(record.get("dur", 0.0)))
+            if name == "sweep/point":
+                point = attrs.get("point", "")
+                attempt_slices.setdefault(point, []).append((ts, lane))
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"
+        out.append(base)
+
+    # Flow arrows: a retry/backoff instant points at the next attempt of
+    # the same point; a quarantine instant is pointed at by the last one.
+    for record in events:
+        name = record.get("name", "")
+        if name not in ("sweep/retries", "sweep/quarantined"):
+            continue
+        attrs = record.get("attrs", {})
+        point = attrs.get("point", "")
+        slices = attempt_slices.get(point, [])
+        ts = _microseconds(record["ts"] - t0)
+        lane = _lane_of(record)
+        if name == "sweep/retries":
+            target = next((s for s in slices if s[0] >= ts), None)
+        else:
+            target = next((s for s in reversed(slices) if s[0] <= ts),
+                          None)
+        if target is None:
+            continue
+        flow_id += 1
+        start: Tuple[int, int]
+        end: Tuple[int, int]
+        if name == "sweep/retries":
+            start, end = (ts, lane), target
+        else:
+            start, end = target, (ts, lane)
+        out.append({
+            "name": name, "cat": "flow", "ph": "s", "id": flow_id,
+            "ts": start[0], "pid": SWEEP_PID, "tid": start[1],
+            "args": {"point": point},
+        })
+        out.append({
+            "name": name, "cat": "flow", "ph": "f", "bp": "e",
+            "id": flow_id, "ts": max(end[0], start[0]), "pid": SWEEP_PID,
+            "tid": end[1], "args": {"point": point},
+        })
+
+    metadata = [_metadata(SWEEP_PID, None, "process_name", label)]
+    for lane in sorted(lanes):
+        lane_label = ("parent" if lane == PARENT_TID
+                      else f"slot {lane - 1}")
+        metadata.append(
+            _metadata(SWEEP_PID, lane, "thread_name", lane_label))
+    out.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return {
+        "traceEvents": metadata + out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_EVENT_SCHEMA_VERSION,
+            "source": "repro.obs.spans",
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Single-run export (ExecutionTrace)
+# ----------------------------------------------------------------------
+def chrome_trace_from_execution_trace(
+    trace,
+    num_windows: int = 20,
+    label: str = "gamma",
+) -> Dict[str, Any]:
+    """Render an :class:`~repro.core.trace.ExecutionTrace` as a trace.
+
+    One lane per PE (a slice per task; 1 cycle = 1 µs) plus a phase lane
+    whose slices summarize each window of
+    :meth:`~repro.core.trace.ExecutionTrace.phase_timeline`.
+    """
+    out: List[Dict[str, Any]] = []
+    pes = sorted({event.pe for event in trace.events})
+    for event in trace.events:
+        out.append({
+            "name": f"row {event.row} L{event.level}",
+            "cat": "task",
+            "ph": "X",
+            "ts": _microseconds(event.start / 1e6),
+            "dur": max(0, _microseconds((event.finish - event.start)
+                                        / 1e6)),
+            "pid": SWEEP_PID,
+            "tid": event.pe + 1,
+            "args": {
+                "task_id": event.task_id,
+                "is_final": event.is_final,
+                "busy_cycles": event.busy_cycles,
+                "b_miss_lines": event.b_miss_lines,
+                "partial_miss_lines": event.partial_miss_lines,
+            },
+        })
+    for index, window in enumerate(trace.phase_timeline(num_windows)
+                                   if trace.events else []):
+        out.append({
+            "name": f"window {index}",
+            "cat": "phase",
+            "ph": "X",
+            "ts": _microseconds(window["start"] / 1e6),
+            "dur": max(0, _microseconds(
+                (window["end"] - window["start"]) / 1e6)),
+            "pid": SWEEP_PID,
+            "tid": PARENT_TID,
+            "args": {
+                "busy_cycles": window["busy_cycles"],
+                "miss_lines": window["miss_lines"],
+                "tasks": window["tasks"],
+            },
+        })
+    metadata = [_metadata(SWEEP_PID, None, "process_name", label),
+                _metadata(SWEEP_PID, PARENT_TID, "thread_name", "phases")]
+    for pe in pes:
+        metadata.append(
+            _metadata(SWEEP_PID, pe + 1, "thread_name", f"PE {pe}"))
+    out.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return {
+        "traceEvents": metadata + out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_EVENT_SCHEMA_VERSION,
+            "source": "repro.core.trace",
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Serialization + validation
+# ----------------------------------------------------------------------
+def write_chrome_trace(path: Union[str, Path],
+                       trace: Dict[str, Any]) -> None:
+    """Write a trace object as deterministic (sorted-keys) JSON."""
+    Path(path).write_text(
+        json.dumps(trace, sort_keys=True, indent=1) + "\n",
+        encoding="utf-8")
+
+
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+}
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> int:
+    """Validate a trace object against the exported envelope.
+
+    Checks the container shape, every event's required fields and
+    types, that only :data:`ALLOWED_PHASES` appear, that duration and
+    flow events carry their extra fields, and that non-metadata
+    timestamps are monotonically non-decreasing. Returns the number of
+    non-metadata events.
+
+    Raises:
+        ValueError: On the first violation found.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+    required = schema_description()["event"]
+    count = 0
+    last_ts: Optional[int] = None
+    open_flows: Dict[int, int] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index}: not an object")
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            raise ValueError(f"event {index}: unknown ph {phase!r}")
+        for field, json_type in required.items():
+            if field not in event:
+                raise ValueError(
+                    f"event {index}: missing field {field!r}")
+            if not _TYPE_CHECKS[json_type](event[field]):
+                raise ValueError(
+                    f"event {index}: field {field!r} is not a "
+                    f"{json_type}")
+        if event["ts"] < 0:
+            raise ValueError(f"event {index}: negative ts")
+        if phase == "M":
+            continue
+        if phase == "X" and not _TYPE_CHECKS["integer"](
+                event.get("dur")):
+            raise ValueError(
+                f"event {index}: duration event lacks integer dur")
+        if phase in ("s", "f"):
+            if not _TYPE_CHECKS["integer"](event.get("id")):
+                raise ValueError(
+                    f"event {index}: flow event lacks integer id")
+            if phase == "s":
+                open_flows[event["id"]] = index
+            else:
+                if event["id"] not in open_flows:
+                    raise ValueError(
+                        f"event {index}: flow finish without start "
+                        f"(id {event['id']})")
+                del open_flows[event["id"]]
+        if last_ts is not None and event["ts"] < last_ts:
+            raise ValueError(
+                f"event {index}: ts {event['ts']} goes backwards "
+                f"(previous {last_ts})")
+        last_ts = event["ts"]
+        count += 1
+    if open_flows:
+        raise ValueError(
+            f"unterminated flow ids: {sorted(open_flows)}")
+    return count

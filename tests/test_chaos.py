@@ -292,6 +292,83 @@ class TestKillMidSweep:
         assert_identical(result, clean_records)
 
 
+class TestTelemetryAgreement:
+    """Merged run-log span counts must agree *exactly* with
+    ``SweepResult.stats`` — the engine emits each ``sweep/<stat>``
+    instant from the same closure that increments the stat, so any
+    drift is a bug, not sampling noise."""
+
+    def _run_instrumented(self, tele_dir, plan_points, **kwargs):
+        from repro.obs import spans
+
+        spans.enable(tele_dir)
+        try:
+            result = run_sweep(plan_points, **kwargs)
+        finally:
+            spans.disable()
+        merged = spans.merge_directory(tele_dir)
+        counts = spans.count_by_name(merged["spans"])
+        return result, counts
+
+    def assert_counts_match(self, result, counts):
+        for name, value in result.stats.items():
+            assert counts.get(f"sweep/{name}", 0) == value, name
+
+    def test_retry_spans_match_stats(self, tmp_path):
+        arm(tmp_path, faults.FaultSpec(
+            kind="flaky", model="gamma", matrix="wiki-Vote", times=2))
+        result, counts = self._run_instrumented(
+            tmp_path / "tele", small_plan(), workers=2,
+            policy=SweepPolicy(max_retries=3, **FAST))
+        assert result.complete
+        assert result.stats["retries"] == 2
+        self.assert_counts_match(result, counts)
+        # faults.py publishes the injected cause alongside the engine's
+        # observed effect: one fault/injected instant per trigger.
+        assert counts.get("fault/injected", 0) == 2
+
+    def test_quarantine_spans_match_stats(self, tmp_path):
+        arm(tmp_path, faults.FaultSpec(
+            kind="crash", model="gamma", matrix="wiki-Vote",
+            times=10_000))
+        result, counts = self._run_instrumented(
+            tmp_path / "tele", small_plan(), serial=True,
+            policy=SweepPolicy(max_retries=1, **FAST))
+        assert not result.complete
+        assert result.stats["quarantined"] == len(result.quarantined)
+        self.assert_counts_match(result, counts)
+        assert counts.get("fault/injected", 0) >= 1
+
+    def test_timeout_kill_leaves_consistent_telemetry(self, tmp_path):
+        """A killed worker's span file may end mid-line; the merge must
+        still deliver counts that agree with the parent's stats."""
+        arm(tmp_path, faults.FaultSpec(
+            kind="hang", model="gamma", matrix="poisson3Da",
+            hang_seconds=60.0))
+        result, counts = self._run_instrumented(
+            tmp_path / "tele", small_plan(), workers=2,
+            policy=SweepPolicy(timeout_seconds=2.0, max_retries=1,
+                               **FAST))
+        assert result.complete
+        assert result.stats["timeouts"] == 1
+        self.assert_counts_match(result, counts)
+        assert counts.get("sweep/timeout_kill", 0) == 1
+
+    def test_clean_run_spans_match_stats(self, tmp_path):
+        result, counts = self._run_instrumented(
+            tmp_path / "tele", small_plan(), serial=True,
+            policy=SweepPolicy(**FAST))
+        assert result.complete
+        self.assert_counts_match(result, counts)
+        # Cache events from the one diskcache code path also land.
+        from repro.obs import spans
+
+        merged = spans.merge_directory(tmp_path / "tele")
+        cache_counts = spans.count_by_name(merged["spans"],
+                                           prefix="cache/")
+        assert cache_counts.get("cache/store", 0) >= len(result)
+
+
 class TestCheckpoint:
     def test_checkpoint_tracks_progress(self):
         sweep = small_plan()

@@ -1,0 +1,164 @@
+"""The unified run report: determinism, rendering, and the CLI path."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.engine.sweep import SweepPoint, run_sweep
+from repro.obs import report, spans
+from repro.obs.spans import read_run_log
+
+
+@pytest.fixture(autouse=True)
+def no_inherited_telemetry(monkeypatch):
+    monkeypatch.delenv(spans.SPAN_DIR_ENV, raising=False)
+    monkeypatch.delenv(spans.SPAN_SLOT_ENV, raising=False)
+    yield
+    spans.disable_current()
+
+
+def small_plan():
+    return [SweepPoint("gamma", "wiki-Vote", "none"),
+            SweepPoint("gamma", "wiki-Vote", "full"),
+            SweepPoint("mkl", "wiki-Vote"),
+            SweepPoint("ip", "wiki-Vote")]
+
+
+def run_with_telemetry(tele_dir, cache_dir, monkeypatch, **kwargs):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    spans.enable(report.span_directory(tele_dir))
+    try:
+        result = run_sweep(small_plan(), **kwargs)
+    finally:
+        spans.disable()
+    report.finalize_sweep_telemetry(tele_dir, result)
+    report.generate_report(tele_dir)
+    return result
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_reports_byte_identical(
+            self, tmp_path, monkeypatch):
+        """The acceptance bar: same plan, fresh caches, serial vs two
+        workers — report.md and report.html agree byte for byte."""
+        serial_dir = tmp_path / "serial"
+        par_dir = tmp_path / "parallel"
+        run_with_telemetry(serial_dir, tmp_path / "cache_s", monkeypatch,
+                           serial=True, collect_metrics=True)
+        run_with_telemetry(par_dir, tmp_path / "cache_p", monkeypatch,
+                           workers=2, collect_metrics=True)
+        for name in (report.REPORT_MD_FILENAME,
+                     report.REPORT_HTML_FILENAME):
+            assert (serial_dir / name).read_bytes() == \
+                (par_dir / name).read_bytes(), name
+        # The deterministic half of sweep.json agrees too; only the
+        # execution-order half may differ.
+        serial_summary = report.load_summary(serial_dir)
+        par_summary = report.load_summary(par_dir)
+        assert json.dumps(serial_summary["summary"], sort_keys=True) \
+            == json.dumps(par_summary["summary"], sort_keys=True)
+
+    def test_regenerating_report_is_stable(self, tmp_path, monkeypatch):
+        tele = tmp_path / "tele"
+        run_with_telemetry(tele, tmp_path / "cache", monkeypatch,
+                           serial=True)
+        first = (tele / report.REPORT_HTML_FILENAME).read_bytes()
+        report.generate_report(tele)
+        assert (tele / report.REPORT_HTML_FILENAME).read_bytes() == first
+
+
+class TestPipelineOutputs:
+    @pytest.fixture()
+    def tele(self, tmp_path, monkeypatch):
+        tele = tmp_path / "tele"
+        result = run_with_telemetry(tele, tmp_path / "cache",
+                                    monkeypatch, serial=True,
+                                    collect_metrics=True)
+        return tele, result
+
+    def test_run_log_and_trace_written(self, tele):
+        tele_dir, result = tele
+        header, events = read_run_log(
+            tele_dir / report.RUN_LOG_FILENAME)
+        assert header["num_spans"] == len(events) > 0
+        from repro.obs import validate_chrome_trace
+
+        trace = json.loads((tele_dir / report.TRACE_FILENAME)
+                           .read_text())
+        assert validate_chrome_trace(trace) > 0
+
+    def test_summary_has_both_halves(self, tele):
+        tele_dir, result = tele
+        payload = report.load_summary(tele_dir)
+        assert payload["schema"] == report.REPORT_SCHEMA_VERSION
+        assert payload["summary"]["num_records"] == len(result)
+        assert payload["summary"]["metrics"] is not None
+        execution = payload["execution"]
+        assert execution["stats"] == result.stats
+        assert execution["points_computed"] + \
+            execution["points_cached"] == len(result)
+        assert "event_counts" in execution
+
+    def test_markdown_and_html_content(self, tele):
+        tele_dir, _ = tele
+        md = (tele_dir / report.REPORT_MD_FILENAME).read_text()
+        assert "# Sweep run report" in md
+        assert "## Speedup over MKL" in md
+        assert "## Normalized DRAM traffic" in md
+        assert "## FiberCache" in md
+        assert "gamma[full]" in md
+        assert "Execution (timing appendix)" not in md  # opt-in only
+        html = (tele_dir / report.REPORT_HTML_FILENAME).read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html  # self-contained and static
+        assert "gamma[full]" in html
+
+    def test_timing_appendix_is_opt_in(self, tele):
+        tele_dir, _ = tele
+        report.generate_report(tele_dir, include_timing=True)
+        md = (tele_dir / report.REPORT_MD_FILENAME).read_text()
+        assert "Execution (timing appendix)" in md
+
+    def test_finalize_without_spans_still_summarizes(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        result = run_sweep(small_plan(), serial=True)
+        tele = tmp_path / "tele"
+        report.finalize_sweep_telemetry(tele, result)
+        payload = report.load_summary(tele)
+        assert payload["summary"]["num_records"] == len(result)
+        header, events = read_run_log(tele / report.RUN_LOG_FILENAME)
+        assert events == []
+
+
+class TestCliIntegration:
+    def test_sweep_trace_dir_then_report(self, tmp_path, monkeypatch,
+                                         capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        tele = tmp_path / "tele"
+        assert main(["sweep", "--matrices", "wiki-Vote", "--models",
+                     "gamma,mkl", "--variants", "none", "--serial",
+                     "--metrics", "--trace-dir", str(tele)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: wrote" in out
+        assert (tele / report.SUMMARY_FILENAME).exists()
+        assert main(["report", str(tele), "--include-timing"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote markdown report" in out
+        assert (tele / report.REPORT_MD_FILENAME).exists()
+        assert (tele / report.REPORT_HTML_FILENAME).exists()
+
+    def test_report_on_missing_directory_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_perfetto_export(self, tmp_path, capsys):
+        out_path = tmp_path / "prof.trace.json"
+        assert main(["profile", "gamma", "wiki-Vote", "--perfetto",
+                     str(out_path)]) == 0
+        assert "Perfetto trace" in capsys.readouterr().out
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(
+            json.loads(out_path.read_text())) > 0

@@ -1,0 +1,144 @@
+"""Fleet roll-up: aggregates are correct and execution-order-free."""
+
+import json
+
+import pytest
+
+from repro.analysis.metrics import gmean
+from repro.config import GammaConfig
+from repro.engine.record import RunRecord
+from repro.engine.sweep import SweepPoint
+from repro.obs import MetricsRegistry
+from repro.obs import rollup as rollup_mod
+
+
+def make_record(model, matrix, variant="", cycles=1000.0,
+                frequency_hz=1e9, traffic=100, compulsory=80,
+                metrics=None):
+    return RunRecord(
+        model=model, matrix=matrix, variant=variant, cycles=cycles,
+        frequency_hz=frequency_hz,
+        traffic_bytes={"A": traffic}, compulsory_bytes={"A": compulsory},
+        flops=10, c_nnz=5,
+        config=GammaConfig() if model == "gamma" else None,
+        metrics=metrics,
+    )
+
+
+def sample_records():
+    return {
+        SweepPoint("mkl", "m1"): make_record("mkl", "m1", cycles=4000.0),
+        SweepPoint("mkl", "m2"): make_record("mkl", "m2", cycles=9000.0),
+        SweepPoint("gamma", "m1", "none"):
+            make_record("gamma", "m1", "none", cycles=1000.0),
+        SweepPoint("gamma", "m2", "none"):
+            make_record("gamma", "m2", "none", cycles=1000.0),
+        SweepPoint("ip", "m1"):
+            make_record("ip", "m1", cycles=2000.0, traffic=160),
+    }
+
+
+class TestTables:
+    def test_speedup_is_gmean_over_shared_matrices(self):
+        rows = rollup_mod.summary_rows(sample_records())
+        table = {r["model"]: r for r in rollup_mod.speedup_table(rows)}
+        # gamma[none]: 4x on m1, 9x on m2 -> gmean 6x.
+        assert table["gamma[none]"]["gmean_speedup"] == \
+            pytest.approx(gmean([4.0, 9.0]))
+        assert table["gamma[none]"]["matrices"] == 2
+        assert table["gamma[none]"]["min_speedup"] == pytest.approx(4.0)
+        assert table["gamma[none]"]["max_speedup"] == pytest.approx(9.0)
+        # ip only shares m1 with mkl.
+        assert table["ip"]["matrices"] == 1
+        assert table["ip"]["gmean_speedup"] == pytest.approx(2.0)
+        assert "mkl" not in table  # the reference is not its own row
+
+    def test_traffic_table_excludes_reference(self):
+        rows = rollup_mod.summary_rows(sample_records())
+        table = {r["model"]: r for r in rollup_mod.traffic_table(rows)}
+        assert table["gamma[none]"]["gmean_normalized_traffic"] == \
+            pytest.approx(100 / 80)
+        assert table["ip"]["worst_normalized_traffic"] == \
+            pytest.approx(2.0)
+        assert "mkl" not in table
+
+    def test_summary_rows_sorted_and_stable(self):
+        records = sample_records()
+        rows = rollup_mod.summary_rows(records)
+        keys = [(r["model"], r["matrix"], r["variant"]) for r in rows]
+        assert keys == sorted(keys)
+        # Insertion order must not matter (parallel sweeps complete
+        # points in nondeterministic order).
+        reversed_records = dict(reversed(list(records.items())))
+        assert rollup_mod.summary_rows(reversed_records) == rows
+
+
+class TestMetricsRollup:
+    def _blob(self, hits, misses, rates):
+        registry = MetricsRegistry()
+        registry.counter("cache/read_hits").inc(hits)
+        registry.counter("cache/read_misses").inc(misses)
+        registry.counter("dram/bytes/B").inc(512)
+        registry.set_info("cache/bank_hit_rates", rates)
+        registry.gauge("cache/bank_load_imbalance").set(1.25)
+        return registry.to_blob()
+
+    def test_counters_summed_and_banks_summarized(self):
+        records = {
+            SweepPoint("gamma", "m1", "none"): make_record(
+                "gamma", "m1", "none",
+                metrics=self._blob(90, 10, [0.8, 0.9, 1.0])),
+            SweepPoint("gamma", "m2", "none"): make_record(
+                "gamma", "m2", "none",
+                metrics=self._blob(60, 40, [0.5, 0.7])),
+            SweepPoint("mkl", "m1"): make_record("mkl", "m1"),
+        }
+        merged = rollup_mod.metrics_rollup(records)
+        assert merged["instrumented_points"] == 2
+        assert merged["counters"]["cache/read_hits"] == 150
+        assert merged["counters"]["dram/bytes/B"] == 1024
+        assert merged["fibercache_hit_rate"] == pytest.approx(0.75)
+        banks = merged["bank_hit_rates"]
+        assert [b["matrix"] for b in banks] == ["m1", "m2"]
+        assert banks[0]["min_hit_rate"] == pytest.approx(0.8)
+        assert banks[1]["mean_hit_rate"] == pytest.approx(0.6)
+        assert banks[0]["load_imbalance"] == pytest.approx(1.25)
+
+    def test_none_when_nothing_instrumented(self):
+        assert rollup_mod.metrics_rollup(sample_records()) is None
+
+
+class TestRollupDeterminism:
+    def test_rollup_independent_of_insertion_order(self):
+        records = sample_records()
+        forward = rollup_mod.rollup(records)
+        backward = rollup_mod.rollup(
+            dict(reversed(list(records.items()))))
+        assert json.dumps(forward, sort_keys=True) == \
+            json.dumps(backward, sort_keys=True)
+        assert forward["schema"] == rollup_mod.ROLLUP_SCHEMA_VERSION
+        assert forward["num_records"] == 5
+        assert forward["models"] == ["gamma", "ip", "mkl"]
+        assert forward["matrices"] == ["m1", "m2"]
+        assert forward["quarantined"] == []
+
+
+class TestExecutionRollup:
+    def test_slot_utilization_from_events(self):
+        events = [
+            {"type": "span", "name": "sweep/point", "ts": 0.0,
+             "dur": 2.0, "attrs": {"slot": 0}},
+            {"type": "span", "name": "sweep/point", "ts": 1.0,
+             "dur": 3.0, "attrs": {"slot": 1}},
+            {"type": "span", "name": "sweep/point", "ts": 3.0,
+             "dur": 1.0, "attrs": {"slot": 0}},
+            {"type": "instant", "name": "cache/hit", "ts": 0.5,
+             "dur": 0.0, "attrs": {}},
+        ]
+        table = rollup_mod.slot_utilization(events)
+        assert [row["slot"] for row in table] == [0, 1]
+        # Window is 0.0 .. 4.0; slot 0 was busy 3s of it.
+        assert table[0]["points"] == 2
+        assert table[0]["busy_seconds"] == pytest.approx(3.0)
+        assert table[0]["utilization"] == pytest.approx(0.75)
+        assert table[1]["utilization"] == pytest.approx(0.75)

@@ -1,0 +1,160 @@
+"""Chrome trace-event export: golden schema, monotonicity, flows."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import spans, traceevent
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace_schema.json"
+
+
+def _run_log_events():
+    """A hand-built merged stream: two slots, a retry, a quarantine."""
+    return [
+        {"type": "span", "name": "sweep/point", "ts": 10.0, "dur": 1.0,
+         "pid": 100, "slot": 0, "seq": 1,
+         "attrs": {"point": "gamma:a:none", "attempt": 0,
+                   "outcome": "error", "slot": 0}},
+        {"type": "instant", "name": "sweep/retries", "ts": 11.2,
+         "dur": 0.0, "pid": 50, "slot": None, "seq": 1,
+         "attrs": {"point": "gamma:a:none"}},
+        {"type": "span", "name": "sweep/point", "ts": 11.5, "dur": 0.8,
+         "pid": 200, "slot": 1, "seq": 1,
+         "attrs": {"point": "gamma:a:none", "attempt": 1,
+                   "outcome": "error", "slot": 1}},
+        {"type": "instant", "name": "sweep/quarantined", "ts": 12.4,
+         "dur": 0.0, "pid": 50, "slot": None, "seq": 2,
+         "attrs": {"point": "gamma:a:none"}},
+        {"type": "instant", "name": "cache/hit", "ts": 12.5, "dur": 0.0,
+         "pid": 100, "slot": 0, "seq": 2, "attrs": {"key": "k"}},
+    ]
+
+
+class TestGoldenSchema:
+    def test_schema_matches_golden(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert traceevent.schema_description() == golden, (
+            "chrome trace schema drifted from "
+            "tests/golden/chrome_trace_schema.json; external consumers "
+            "(Perfetto links, CI artifacts) pin this layout — bump "
+            "TRACE_EVENT_SCHEMA_VERSION and regenerate the golden file "
+            "only for a deliberate format change"
+        )
+
+    def test_exported_trace_validates_against_schema(self):
+        trace = traceevent.chrome_trace_from_run_log(_run_log_events())
+        count = traceevent.validate_chrome_trace(trace)
+        assert count > 0
+        assert trace["otherData"]["schema"] == \
+            traceevent.TRACE_EVENT_SCHEMA_VERSION
+
+
+class TestRunLogExport:
+    def test_timestamps_are_normalized_monotonic_integers(self):
+        trace = traceevent.chrome_trace_from_run_log(_run_log_events())
+        body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        stamps = [e["ts"] for e in body]
+        assert stamps == sorted(stamps)
+        assert all(isinstance(ts, int) for ts in stamps)
+        assert min(stamps) == 0  # normalized to the earliest event
+
+    def test_slot_lanes_and_metadata(self):
+        trace = traceevent.chrome_trace_from_run_log(
+            _run_log_events(), label="mysweep")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "mysweep") in names
+        assert ("thread_name", "parent") in names
+        assert ("thread_name", "slot 0") in names
+        assert ("thread_name", "slot 1") in names
+        points = [e for e in trace["traceEvents"]
+                  if e["name"] == "sweep/point" and e["ph"] == "X"]
+        assert sorted(e["tid"] for e in points) == [1, 2]
+
+    def test_retry_and_quarantine_become_flows(self):
+        trace = traceevent.chrome_trace_from_run_log(_run_log_events())
+        flows = [e for e in trace["traceEvents"] if e["ph"] in ("s", "f")]
+        by_name = {}
+        for event in flows:
+            by_name.setdefault(event["name"], []).append(event["ph"])
+        # The retry links to the next attempt; the quarantine links back
+        # to the last attempt — each as one start/finish pair.
+        assert sorted(by_name["sweep/retries"]) == ["f", "s"]
+        assert sorted(by_name["sweep/quarantined"]) == ["f", "s"]
+        traceevent.validate_chrome_trace(trace)  # pairs must balance
+
+    def test_empty_stream_still_valid(self):
+        trace = traceevent.chrome_trace_from_run_log([])
+        assert traceevent.validate_chrome_trace(trace) == 0
+
+    def test_real_merged_directory_round_trip(self, tmp_path):
+        recorder = spans.SpanRecorder(tmp_path / "spans-1.jsonl", slot=0)
+        recorder.span("sweep/point", 5.0, 6.0, outcome="ok", slot=0)
+        recorder.instant("cache/store", key="k")
+        recorder.close()
+        merged = spans.merge_directory(tmp_path)
+        trace = traceevent.chrome_trace_from_run_log(merged["spans"])
+        path = tmp_path / "trace.json"
+        traceevent.write_chrome_trace(path, trace)
+        reloaded = json.loads(path.read_text())
+        assert traceevent.validate_chrome_trace(reloaded) == 2
+        # Deterministic serialization: writing again is byte-identical.
+        first = path.read_bytes()
+        traceevent.write_chrome_trace(path, reloaded)
+        assert path.read_bytes() == first
+
+
+class TestExecutionTraceExport:
+    @pytest.fixture(scope="class")
+    def sim_trace(self):
+        from repro.obs import profile_point
+
+        return profile_point("wiki-Vote").trace
+
+    def test_pe_lanes_and_phase_windows(self, sim_trace):
+        trace = traceevent.chrome_trace_from_execution_trace(
+            sim_trace, num_windows=8)
+        assert traceevent.validate_chrome_trace(trace) > 0
+        tasks = [e for e in trace["traceEvents"] if e.get("cat") == "task"]
+        phases = [e for e in trace["traceEvents"]
+                  if e.get("cat") == "phase"]
+        assert len(tasks) == len(sim_trace.events)
+        assert len(phases) == 8
+        assert all(e["tid"] == traceevent.PARENT_TID for e in phases)
+        assert all(e["tid"] >= 1 for e in tasks)
+        meta_names = {e["args"]["name"] for e in trace["traceEvents"]
+                      if e["ph"] == "M"}
+        assert "phases" in meta_names
+        assert any(name.startswith("PE ") for name in meta_names)
+
+
+class TestValidator:
+    def test_rejects_backwards_timestamps(self):
+        trace = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "i", "ts": 5, "pid": 1,
+             "tid": 0},
+            {"name": "b", "cat": "c", "ph": "i", "ts": 4, "pid": 1,
+             "tid": 0},
+        ]}
+        with pytest.raises(ValueError, match="backwards"):
+            traceevent.validate_chrome_trace(trace)
+
+    def test_rejects_unknown_phase_and_missing_fields(self):
+        with pytest.raises(ValueError, match="unknown ph"):
+            traceevent.validate_chrome_trace(
+                {"traceEvents": [{"name": "a", "cat": "c", "ph": "Z",
+                                  "ts": 0, "pid": 1, "tid": 0}]})
+        with pytest.raises(ValueError, match="missing field"):
+            traceevent.validate_chrome_trace(
+                {"traceEvents": [{"name": "a", "ph": "i", "ts": 0,
+                                  "pid": 1}]})
+
+    def test_rejects_unbalanced_flow(self):
+        trace = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "s", "ts": 0, "pid": 1,
+             "tid": 0, "id": 7},
+        ]}
+        with pytest.raises(ValueError, match="unterminated"):
+            traceevent.validate_chrome_trace(trace)
