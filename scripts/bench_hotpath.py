@@ -36,7 +36,7 @@ import sys
 import time
 from pathlib import Path
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 try:  # PYTHONPATH wins so a baseline tree can be benchmarked; fall back
@@ -216,6 +216,17 @@ QUICK_MODEL_POINTS = [
 ]
 
 
+#: Subset re-run through the preserved event-ordered engine
+#: (``model-ref/*`` rows) so a single report shows the in-tree engine
+#: gap next to the cross-commit trajectory. Trees that predate
+#: ``gamma-ref`` simply skip these rows (combine matches by name).
+REF_MODEL_POINTS = [
+    ("wiki-Vote", None, False),
+    ("m133-b3", None, False),
+    ("webbase-1M", None, False),
+]
+
+
 def bench_models(quick: bool) -> list:
     import dataclasses
 
@@ -224,24 +235,33 @@ def bench_models(quick: bool) -> list:
     from repro.matrices import suite
     from repro.semiring import BOOLEAN, TROPICAL_MIN
 
+    try:
+        from repro.core import ReferenceGammaSimulator
+    except ImportError:  # baseline tree: single-engine simulator only
+        ReferenceGammaSimulator = None
+
     semirings = {"boolean": BOOLEAN, "tropical_min": TROPICAL_MIN}
     config = scaled_gamma_config()
-    points = QUICK_MODEL_POINTS if quick else MODEL_POINTS
+    points = [("model/gamma", GammaSimulator, p)
+              for p in (QUICK_MODEL_POINTS if quick else MODEL_POINTS)]
+    if ReferenceGammaSimulator is not None and not quick:
+        points += [("model-ref/gamma", ReferenceGammaSimulator, p)
+                   for p in REF_MODEL_POINTS]
     results = []
-    for matrix, semiring_name, detailed in points:
+    for prefix, simulator_class, (matrix, semiring_name, detailed) in points:
         a, b = suite.operands(matrix)
         point_config = (dataclasses.replace(config, detailed_pe_model=True)
                         if detailed else config)
         semiring = semirings.get(semiring_name)
         start = time.perf_counter()
-        result = GammaSimulator(point_config, semiring=semiring,
-                                keep_output=False).run(a, b)
+        result = simulator_class(point_config, semiring=semiring,
+                                 keep_output=False).run(a, b)
         wall = time.perf_counter() - start
         tag = semiring_name or "arith"
         if detailed:
             tag += "+detailed"
         results.append({
-            "name": f"model/gamma/{matrix}/{tag}",
+            "name": f"{prefix}/{matrix}/{tag}",
             "kind": "model",
             "wall_s": wall,
             "items": result.num_tasks,
@@ -285,13 +305,25 @@ def run_bench(label: str, quick: bool) -> dict:
     }
 
 
-def combine(before_path: str, after_path: str) -> dict:
+def combine(before_path: str, after_path: str,
+            previous_path: str = None) -> dict:
+    """Merge two reports into a trajectory; archive any prior trajectory.
+
+    Matched points (by name) are compared one-for-one, with per-kind
+    subtotals — ``by_prefix['model']`` is the headline number for an
+    engine rewrite, since the kernel rows amplify isolated primitives.
+    When ``previous_path`` holds an older trajectory (the normal case:
+    ``--out BENCH_hotpath.json`` over the committed file), its summary
+    is appended to ``history`` so the file accumulates one entry per
+    optimization PR instead of overwriting the record.
+    """
     with open(before_path) as handle:
         before = json.load(handle)
     with open(after_path) as handle:
         after = json.load(handle)
     after_by_name = {p["name"]: p for p in after["points"]}
     per_point = []
+    by_prefix = {}
     for point in before["points"]:
         new = after_by_name.get(point["name"])
         if new is None:
@@ -304,15 +336,45 @@ def combine(before_path: str, after_path: str) -> dict:
             "speedup": (point["wall_s"] / new["wall_s"]
                         if new["wall_s"] else None),
         })
+        prefix = point["name"].split("/", 1)[0]
+        bucket = by_prefix.setdefault(
+            prefix, {"before_wall_s": 0.0, "after_wall_s": 0.0})
+        bucket["before_wall_s"] += point["wall_s"]
+        bucket["after_wall_s"] += new["wall_s"]
+    for bucket in by_prefix.values():
+        bucket["speedup"] = (
+            bucket["before_wall_s"] / bucket["after_wall_s"]
+            if bucket["after_wall_s"] else None)
     before_total = before["aggregate"]["wall_s_total"]
     after_total = after["aggregate"]["wall_s_total"]
+    history = []
+    if previous_path:
+        try:
+            with open(previous_path) as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = None
+        if previous and previous.get("kind") == "hotpath-trajectory":
+            history = list(previous.get("history", ()))
+            old = previous.get("comparison", {})
+            history.append({
+                "before_label": previous.get("before", {}).get("label"),
+                "after_label": previous.get("after", {}).get("label"),
+                "before_commit": previous.get("before", {}).get("commit"),
+                "after_commit": previous.get("after", {}).get("commit"),
+                "before_wall_s_total": old.get("before_wall_s_total"),
+                "after_wall_s_total": old.get("after_wall_s_total"),
+                "aggregate_speedup": old.get("aggregate_speedup"),
+            })
     return {
         "schema_version": SCHEMA_VERSION,
         "kind": "hotpath-trajectory",
         "before": before,
         "after": after,
+        "history": history,
         "comparison": {
             "per_point": per_point,
+            "by_prefix": by_prefix,
             "before_wall_s_total": before_total,
             "after_wall_s_total": after_total,
             "aggregate_speedup": (before_total / after_total
@@ -335,13 +397,18 @@ def main() -> int:
     args = parser.parse_args()
 
     if args.combine:
-        report = combine(*args.combine)
+        report = combine(*args.combine, previous_path=args.out)
         comparison = report["comparison"]
         summary = (
             f"aggregate: {comparison['before_wall_s_total']:.3f}s -> "
             f"{comparison['after_wall_s_total']:.3f}s "
             f"({comparison['aggregate_speedup']:.2f}x)"
         )
+        for prefix, bucket in sorted(comparison["by_prefix"].items()):
+            summary += (
+                f"; {prefix}: {bucket['before_wall_s']:.3f}s -> "
+                f"{bucket['after_wall_s']:.3f}s "
+                f"({bucket['speedup']:.2f}x)")
     else:
         report = run_bench(args.label, args.quick)
         for point in report["points"]:

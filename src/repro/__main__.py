@@ -89,6 +89,7 @@ def _cmd_sweep(args) -> int:
         matrices = suite.common_set_names() + suite.extended_set_names()
     models = (args.models.split(",") if args.models
               else list(DEFAULT_MODELS))
+    models = [_apply_engine(model, args.engine) for model in models]
     variants = (args.variants.split(",") if args.variants
                 else list(DEFAULT_VARIANTS))
     try:
@@ -101,18 +102,12 @@ def _cmd_sweep(args) -> int:
           f"{len(points) - len(misses)} cached, {len(misses)} to run")
     if args.dry_run:
         for point in misses:
-            label = f"{point.model}:{point.matrix}"
-            if point.model == "gamma":
-                label += f":{point.variant}"
-            print(f"  {label}")
+            print(f"  {point.label()}")
         return 0
     done = {"count": 0}
 
     def label_of(point):
-        label = f"{point.model}:{point.matrix}"
-        if point.model == "gamma":
-            label += f":{point.variant}"
-        return label
+        return point.label()
 
     def progress(point, record):
         done["count"] += 1
@@ -212,6 +207,20 @@ def _hotpath_trajectory() -> str:
     return ""
 
 
+def _apply_engine(model: str, engine: str) -> str:
+    """Resolve ``--engine`` to a registry model name.
+
+    Only the Gamma simulator has selectable engines; other models pass
+    through untouched. ``batched`` is the production default (``gamma``),
+    ``ref`` the event-ordered reference core (``gamma-ref``).
+    """
+    from repro.engine.registry import GAMMA_ENGINES, GAMMA_MODELS
+
+    if model in GAMMA_MODELS:
+        return GAMMA_ENGINES[engine]
+    return model
+
+
 def _cmd_profile(args) -> int:
     from repro.matrices import suite
     from repro.obs import profile_point, render_report
@@ -221,8 +230,9 @@ def _cmd_profile(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    model = _apply_engine(args.model, args.engine)
     try:
-        run = profile_point(args.matrix, model=args.model,
+        run = profile_point(args.matrix, model=model,
                             variant=args.variant)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -230,7 +240,7 @@ def _cmd_profile(args) -> int:
     print(render_report(run.record, run.trace, run.wall_seconds))
     if args.trace:
         lines = run.trace.to_jsonl(
-            args.trace, model=args.model, matrix=args.matrix,
+            args.trace, model=model, matrix=args.matrix,
             variant=args.variant)
         print(f"wrote {lines} trace lines to {args.trace}")
     if args.perfetto:
@@ -239,7 +249,7 @@ def _cmd_profile(args) -> int:
             write_chrome_trace,
         )
         trace = chrome_trace_from_execution_trace(
-            run.trace, label=f"{args.model}:{args.matrix}")
+            run.trace, label=f"{model}:{args.matrix}")
         write_chrome_trace(args.perfetto, trace)
         print(f"wrote Perfetto trace ({len(trace['traceEvents'])} "
               f"events) to {args.perfetto}")
@@ -332,6 +342,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace-dir", metavar="DIR", default=None,
         help="record cross-process telemetry and write run_log.jsonl, "
              "trace.json (Perfetto), and sweep.json into DIR")
+    sweep_parser.add_argument(
+        "--engine", choices=("batched", "ref"), default="batched",
+        help="Gamma simulator core: the data-oriented epoch engine "
+             "(default) or the event-ordered reference (bit-identical, "
+             "slower; cached as the separate gamma-ref model)")
     report_parser = sub.add_parser(
         "report",
         help="render report.md + report.html from a sweep --trace-dir")
@@ -360,6 +375,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--perfetto", metavar="PATH", default=None,
         help="also export a Chrome trace-event JSON (PE lanes + phase "
              "windows) loadable at ui.perfetto.dev")
+    profile_parser.add_argument(
+        "--engine", choices=("batched", "ref"), default="batched",
+        help="Gamma simulator core: data-oriented epoch engine "
+             "(default) or the event-ordered reference")
 
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -127,6 +127,58 @@ class MemoryInterface:
             finish = self._busy_until
         return finish
 
+    def request_epoch(self, requests) -> None:
+        """Issue a deferred batch of transfers whose finish times are unused.
+
+        The batched simulator core queues result-less charges — C-row
+        writes and partial-writeback traffic — as ``(category, bytes,
+        issue_time)`` tuples and flushes them here, in original issue
+        order, before any request whose completion time feeds back into
+        task timing. The channel state (gaps, busy horizon, counters)
+        therefore evolves exactly as if each request had been issued
+        individually at its recorded time — the hot path below is
+        :meth:`request` inlined minus the completion-time bookkeeping
+        no caller reads.
+        """
+        if self.metrics is not None:
+            for category, num_bytes, now in requests:
+                self.request(category, num_bytes, now)
+            return
+        counters = self.traffic.bytes_by_category
+        bytes_per_cycle = self.bytes_per_cycle
+        gaps = self._gaps
+        busy = self._busy_until
+        for category, num_bytes, now in requests:
+            counters[category] += num_bytes
+            if num_bytes == 0:
+                continue
+            remaining = num_bytes / bytes_per_cycle
+            if gaps:
+                updated = []
+                for gap_start, gap_end in gaps:
+                    if remaining <= 0 or gap_end <= now:
+                        updated.append((gap_start, gap_end))
+                        continue
+                    usable_start = gap_start if gap_start > now else now
+                    usable = gap_end - usable_start
+                    if usable <= 0:
+                        updated.append((gap_start, gap_end))
+                        continue
+                    take = usable if usable < remaining else remaining
+                    remaining -= take
+                    if gap_start < usable_start:
+                        updated.append((gap_start, usable_start))
+                    if usable_start + take < gap_end:
+                        updated.append((usable_start + take, gap_end))
+                gaps = updated
+            if remaining > 0:
+                tail_start = now if now > busy else busy
+                if tail_start > busy:
+                    gaps.append((busy, tail_start))
+                busy = tail_start + remaining
+        self._gaps = gaps
+        self._busy_until = busy
+
     def account(self, category: str, num_bytes: int) -> None:
         """Count traffic without timing (for pure traffic models)."""
         self.traffic.add(category, num_bytes)

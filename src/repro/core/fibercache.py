@@ -21,17 +21,24 @@ Hot-path organization (see docs/architecture.md §10)
 ----------------------------------------------------
 This implementation is the *batched* cache: callers stream whole address
 ranges through ``fetch_range`` / ``read_range`` / ``write_range`` /
-``consume_range`` (plus the fused ``fetch_read_range``) instead of one
-Python call per line. State lives in set-major slot arrays — parallel
-arrays of length ``num_sets * num_ways`` indexed by ``set * ways + way``
-(tags, priority, RRPV, dirty, category, insertion sequence) with an
+``consume_range`` (plus the fused ``fetch_read_range``), or whole
+*epochs* of ranges through ``fetch_read_epoch``, instead of one Python
+call per line. State lives in set-major slot arrays — parallel arrays of
+length ``num_sets * num_ways`` indexed by ``set * ways + way`` (tags,
+dirty, category, and one packed *replacement key* per slot) with an
 address→slot index for O(1) lookup. The arrays are plain Python lists
 internally: at the 1–3-line ranges that dominate real sweeps, per-element
 list access (~40 ns) beats both dict-of-objects attribute chasing and
 NumPy element access / small-batch ufunc dispatch (~0.9 µs per call),
 which we measured to be slower until ranges exceed ~30 lines.
-``set_arrays()`` exports the same state as per-set NumPy arrays for
-tests, lockstep checking, and observability.
+
+The replacement key packs ``(priority, RRPV_MAX - rrpv, seq)`` into one
+integer so victim selection is a single ``min()`` over the set's slots
+and the SRRIP aging sweep is one subtraction per tied candidate —
+the eviction path dominated whole-model cache time when the fields
+lived in separate lists. ``set_arrays()`` decodes the same state back
+into per-set NumPy arrays for tests, lockstep checking, and
+observability.
 
 The scalar primitives (``fetch``/``read``/``write``/``consume``) remain
 as single-line wrappers over the range kernels; the authoritative scalar
@@ -44,6 +51,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.config import GammaConfig, LINE_BYTES
 
 #: SRRIP re-reference prediction values (2-bit).
@@ -54,6 +63,24 @@ _PRIORITY_MAX = 31  # 5-bit counter for 32 PEs (Sec. 3.2)
 #: Category codes in the slot arrays.
 _CATEGORIES = ("B", "partial")
 _CAT_CODE = {"B": 0, "partial": 1}
+
+#: Packed replacement key: ``(priority << 52) | ((RRPV_MAX - rrpv) << 50)
+#: | seq``. Victim selection is the lexicographic minimum of
+#: (priority, -rrpv, insertion seq), so with rrpv stored inverted the
+#: integer ``min()`` over a set's keys IS the victim. seq gets 50 bits:
+#: installs are bounded by line touches, far below 2**50 per run.
+_KEY_INV_SHIFT = 50
+_KEY_PRIO_SHIFT = 52
+_KEY_SEQ_MASK = (1 << _KEY_INV_SHIFT) - 1
+#: Key fragment for rrpv = 0 (inverted rrpv at max); OR-ing it into a key
+#: is exactly "promote to RRPV 0, keep priority and seq".
+_KEY_RRPV0 = _RRPV_MAX << _KEY_INV_SHIFT
+#: Key fragment for rrpv = insert.
+_KEY_RRPV_INSERT = (_RRPV_MAX - _RRPV_INSERT) << _KEY_INV_SHIFT
+#: One unit of priority.
+_KEY_PRIO_ONE = 1 << _KEY_PRIO_SHIFT
+#: Keys >= this have a saturated priority counter.
+_KEY_PRIO_SAT = _PRIORITY_MAX << _KEY_PRIO_SHIFT
 
 
 @dataclass
@@ -116,11 +143,9 @@ class FiberCache:
         num_slots = self.num_sets * self.num_ways
         # Set-major slot arrays: slot = set * num_ways + way.
         self._tags: List[int] = [-1] * num_slots
-        self._prio: List[int] = [0] * num_slots
-        self._rrpv: List[int] = [0] * num_slots
+        self._key: List[int] = [0] * num_slots
         self._dirty: List[int] = [0] * num_slots
         self._cat: List[int] = [0] * num_slots
-        self._seq: List[int] = [0] * num_slots
         #: addr -> slot for every resident line.
         self._slot_of: Dict[int, int] = {}
         #: valid lines per set (install scans for a free way only when < ways).
@@ -150,43 +175,30 @@ class FiberCache:
 
         Victim = lexicographic minimum of (priority, -rrpv, insertion
         sequence) over the set — exactly the line the reference model's
-        first-match scan selects. One pass finds the victim and collects
-        the min-priority candidates so the aging sweep touches only them.
+        first-match scan selects, and exactly ``min()`` of the packed
+        keys (eviction only happens on a full set, so every key in the
+        slice is a valid line's). The aging sweep subtracts the victim's
+        inverted-rrpv field from every same-priority key: those
+        candidates all have rrpv <= the victim's (the victim maximizes
+        rrpv among ties), so the subtraction never borrows and never
+        needs the RRPV_MAX cap.
         """
         tags = self._tags
-        prio = self._prio
-        rrpv = self._rrpv
-        seq = self._seq
+        keys = self._key
         base = set_index * self.num_ways
-        best_slot = base
-        best_prio = prio[base]
-        best_rrpv = rrpv[base]
-        best_seq = seq[base]
-        candidates = [base]
-        for slot in range(base + 1, base + self.num_ways):
-            p = prio[slot]
-            if p > best_prio:
-                continue
-            if p < best_prio:
-                best_prio = p
-                candidates = [slot]
-                best_slot = slot
-                best_rrpv = rrpv[slot]
-                best_seq = seq[slot]
-            else:
-                candidates.append(slot)
-                r = rrpv[slot]
-                if r > best_rrpv or (r == best_rrpv and seq[slot] < best_seq):
-                    best_slot = slot
-                    best_rrpv = r
-                    best_seq = seq[slot]
-        if best_rrpv < _RRPV_MAX:
+        segment = keys[base:base + self.num_ways]
+        victim_key = min(segment)
+        best_slot = base + segment.index(victim_key)
+        inverted = (victim_key >> _KEY_INV_SHIFT) & _RRPV_MAX
+        if inverted:
             # Age all tied candidates so the victim reaches RRPV max,
             # as SRRIP would by repeated aging sweeps.
-            aging = _RRPV_MAX - best_rrpv
-            for slot in candidates:
-                new_rrpv = rrpv[slot] + aging
-                rrpv[slot] = new_rrpv if new_rrpv < _RRPV_MAX else _RRPV_MAX
+            delta = inverted << _KEY_INV_SHIFT
+            victim_prio = victim_key >> _KEY_PRIO_SHIFT
+            for slot in range(base, base + self.num_ways):
+                k = keys[slot]
+                if k >> _KEY_PRIO_SHIFT == victim_prio:
+                    keys[slot] = k - delta
         dirty = self._dirty[best_slot]
         if dirty:
             self.stats.dirty_evictions += 1
@@ -201,8 +213,13 @@ class FiberCache:
         self._last_victim = (addr, category, bool(dirty))
         return best_slot
 
-    def _install(self, addr: int, cat_code: int) -> int:
-        """Install a line (evicting if the set is full); returns its slot."""
+    def _install(self, addr: int, cat_code: int, key_high: int) -> int:
+        """Install a line (evicting if the set is full); returns its slot.
+
+        ``key_high`` carries the new line's priority and inverted-rrpv
+        fields so callers encode their post-install replacement state in
+        one store instead of writing priority/rrpv after the fact.
+        """
         set_index = addr % self.num_sets
         tags = self._tags
         if self._fill[set_index] >= self.num_ways:
@@ -212,11 +229,9 @@ class FiberCache:
             while tags[slot] >= 0:
                 slot += 1
         tags[slot] = addr
-        self._prio[slot] = 0
-        self._rrpv[slot] = _RRPV_INSERT
+        self._key[slot] = key_high | self._seq_counter
         self._dirty[slot] = 0
         self._cat[slot] = cat_code
-        self._seq[slot] = self._seq_counter
         self._seq_counter += 1
         self._slot_of[addr] = slot
         self._fill[set_index] += 1
@@ -240,8 +255,7 @@ class FiberCache:
             raise ValueError(f"unknown line category {category!r}")
         cat_code = _CAT_CODE[category]
         slot_of = self._slot_of
-        prio = self._prio
-        rrpv = self._rrpv
+        keys = self._key
         num_banks = len(self.bank_accesses)
         bank_accesses = self.bank_accesses
         bank_hits = self.bank_hits
@@ -255,14 +269,17 @@ class FiberCache:
             if slot is not None:
                 hits += 1
                 bank_hits[addr % num_banks] += 1
-                if prio[slot] < _PRIORITY_MAX:
-                    prio[slot] += 1
-                rrpv[slot] = 0
+                # priority++ (saturating), rrpv = 0.
+                k = keys[slot]
+                if k < _KEY_PRIO_SAT:
+                    k += _KEY_PRIO_ONE
+                keys[slot] = k | _KEY_RRPV0
             else:
                 misses += 1
                 bank_misses[addr % num_banks] += 1
-                slot = self._install(addr, cat_code)
-                prio[slot] = 1
+                # fetch installs at priority 1, rrpv = insert.
+                self._install(addr, cat_code,
+                              _KEY_PRIO_ONE | _KEY_RRPV_INSERT)
         self.stats.fetch_hits += hits
         self.stats.fetch_misses += misses
         self.miss_lines[category] += misses
@@ -279,8 +296,7 @@ class FiberCache:
             raise ValueError(f"unknown line category {category!r}")
         cat_code = _CAT_CODE[category]
         slot_of = self._slot_of
-        prio = self._prio
-        rrpv = self._rrpv
+        keys = self._key
         num_banks = len(self.bank_accesses)
         bank_accesses = self.bank_accesses
         bank_hits = self.bank_hits
@@ -294,15 +310,15 @@ class FiberCache:
             if slot is not None:
                 hits += 1
                 bank_hits[addr % num_banks] += 1
-                if prio[slot] > 0:
-                    prio[slot] -= 1
-                rrpv[slot] = 0
+                # priority-- (floored at 0), rrpv = 0.
+                k = keys[slot]
+                if k >= _KEY_PRIO_ONE:
+                    k -= _KEY_PRIO_ONE
+                keys[slot] = k | _KEY_RRPV0
             else:
                 misses += 1
                 bank_misses[addr % num_banks] += 1
-                slot = self._install(addr, cat_code)
-                prio[slot] = 0
-                rrpv[slot] = _RRPV_INSERT
+                self._install(addr, cat_code, _KEY_RRPV_INSERT)
         self.stats.read_hits += hits
         self.stats.read_misses += misses
         self.miss_lines[category] += misses
@@ -333,8 +349,7 @@ class FiberCache:
             raise ValueError(f"unknown line category {category!r}")
         cat_code = _CAT_CODE[category]
         slot_of = self._slot_of
-        prio = self._prio
-        rrpv = self._rrpv
+        keys = self._key
         num_banks = len(self.bank_accesses)
         bank_accesses = self.bank_accesses
         bank_hits = self.bank_hits
@@ -350,23 +365,252 @@ class FiberCache:
             if slot is not None:
                 hits += 1
                 bank_hits[bank] += 1
-                # fetch: priority++ (saturating); read: priority--.
-                if prio[slot] >= _PRIORITY_MAX:
-                    prio[slot] = _PRIORITY_MAX - 1
-                rrpv[slot] = 0
+                # fetch: priority++ (saturating); read: priority--; the
+                # pair is a no-op unless already saturated.
+                k = keys[slot]
+                if k >= _KEY_PRIO_SAT:
+                    k -= _KEY_PRIO_ONE
+                keys[slot] = k | _KEY_RRPV0
             else:
                 misses += 1
                 bank_misses[bank] += 1
-                slot = self._install(addr, cat_code)
                 # fetch installs at priority 1; the read drops it to 0.
-                prio[slot] = 0
-                rrpv[slot] = 0
+                self._install(addr, cat_code, _KEY_RRPV0)
         n = hi - lo
         self.stats.fetch_hits += hits
         self.stats.fetch_misses += misses
         self.stats.read_hits += n
         self.miss_lines[category] += misses
         return misses, self.stats.dirty_evictions - dirty_before
+
+    def fetch_read_epoch(self, lows, highs, counts,
+                         category: str = "B"):
+        """Epoch-batched :meth:`fetch_read_range` over grouped ranges.
+
+        The batched simulator core calls this once per epoch with every
+        dispatched task's input ranges: ``lows[i], highs[i]`` is the
+        *i*-th range in touch order and ``counts[g]`` says how many
+        consecutive ranges belong to group (task) *g*. State evolution
+        is bit-identical to calling ``fetch_read_range`` per range in
+        order; stats are flushed once per epoch instead of per range.
+
+        The flat line-address stream and all bank counters are computed
+        as numpy arrays; only the residency walk itself — a dict probe
+        and key update per line, with the install/evict path inlined —
+        stays a Python loop, since each touch's hit/miss outcome depends
+        on the evictions of every touch before it. Ranges wrapping the
+        set space (longer than ``num_sets`` lines) take the exact
+        two-pass fallback of :meth:`_fetch_read_epoch_ranges`.
+
+        Returns:
+            Four lists with one entry per group: miss lines, dirty
+            evictions, and the B / partial line occupancy observed after
+            the group's touches (the utilization sampling point).
+        """
+        if category not in self.miss_lines:
+            raise ValueError(f"unknown line category {category!r}")
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        lens = highs - lows
+        if lens.size == 0 or int(lens.max()) > self.num_sets:
+            return self._fetch_read_epoch_ranges(
+                lows.tolist(), highs.tolist(), counts.tolist(), category)
+        total = int(lens.sum())
+        starts = np.cumsum(lens) - lens
+        addrs = np.arange(total, dtype=np.int64) + np.repeat(
+            lows - starts, lens)
+        range_first = np.cumsum(counts) - counts
+        group_lines = np.add.reduceat(lens, range_first)
+
+        cat_code = _CAT_CODE[category]
+        slot_of = self._slot_of
+        keys = self._key
+        tags = self._tags
+        dirty_arr = self._dirty
+        cat_arr = self._cat
+        fill = self._fill
+        num_sets = self.num_sets
+        num_ways = self.num_ways
+        occupancy = self.occupancy
+        occ_b = occupancy["B"]
+        occ_p = occupancy["partial"]
+        seq = self._seq_counter
+        dirty_ev = 0
+        clean_ev = 0
+        last_victim = None
+        missed: List[int] = []
+        miss_out: List[int] = []
+        dirty_out: List[int] = []
+        occ_b_out: List[int] = []
+        occ_p_out: List[int] = []
+        addr_list = addrs.tolist()
+        start = 0
+        for end in np.cumsum(group_lines).tolist():
+            group_misses = 0
+            group_dirty = 0
+            for addr in addr_list[start:end]:
+                slot = slot_of.get(addr)
+                if slot is not None:
+                    # fetch: priority++ (saturating); read: priority--;
+                    # the pair is a no-op unless already saturated.
+                    k = keys[slot]
+                    if k >= _KEY_PRIO_SAT:
+                        k -= _KEY_PRIO_ONE
+                    keys[slot] = k | _KEY_RRPV0
+                    continue
+                group_misses += 1
+                missed.append(addr)
+                set_index = addr % num_sets
+                if fill[set_index] >= num_ways:
+                    # Inline _evict_from_set: min packed key is the
+                    # victim; age every same-priority candidate.
+                    base = set_index * num_ways
+                    segment = keys[base:base + num_ways]
+                    victim_key = min(segment)
+                    slot = base + segment.index(victim_key)
+                    inverted = (victim_key >> _KEY_INV_SHIFT) & _RRPV_MAX
+                    if inverted:
+                        delta = inverted << _KEY_INV_SHIFT
+                        victim_prio = victim_key >> _KEY_PRIO_SHIFT
+                        for s in range(base, base + num_ways):
+                            k = keys[s]
+                            if k >> _KEY_PRIO_SHIFT == victim_prio:
+                                keys[s] = k - delta
+                    victim_dirty = dirty_arr[slot]
+                    if victim_dirty:
+                        dirty_ev += 1
+                        group_dirty += 1
+                    else:
+                        clean_ev += 1
+                    victim_cat = cat_arr[slot]
+                    if victim_cat:
+                        occ_p -= 1
+                    else:
+                        occ_b -= 1
+                    old_addr = tags[slot]
+                    del slot_of[old_addr]
+                    last_victim = (old_addr, _CATEGORIES[victim_cat],
+                                   bool(victim_dirty))
+                else:
+                    slot = set_index * num_ways
+                    while tags[slot] >= 0:
+                        slot += 1
+                    fill[set_index] += 1
+                # Inline _install: fetch at priority 1, the fused read
+                # drops it to 0 -> net key is rrpv-0 only.
+                tags[slot] = addr
+                keys[slot] = _KEY_RRPV0 | seq
+                seq += 1
+                dirty_arr[slot] = 0
+                cat_arr[slot] = cat_code
+                slot_of[addr] = slot
+                if cat_code:
+                    occ_p += 1
+                else:
+                    occ_b += 1
+            start = end
+            miss_out.append(group_misses)
+            dirty_out.append(group_dirty)
+            occ_b_out.append(occ_b)
+            occ_p_out.append(occ_p)
+        misses = len(missed)
+        self._seq_counter = seq
+        occupancy["B"] = occ_b
+        occupancy["partial"] = occ_p
+        if last_victim is not None:
+            self._last_victim = last_victim
+        stats = self.stats
+        stats.fetch_hits += total - misses
+        stats.fetch_misses += misses
+        stats.read_hits += total
+        stats.dirty_evictions += dirty_ev
+        stats.clean_evictions += clean_ev
+        self.miss_lines[category] += misses
+        if total:
+            num_banks = len(self.bank_accesses)
+            acc = np.bincount(addrs % num_banks,
+                              minlength=num_banks).tolist()
+            if missed:
+                mc = np.bincount(
+                    np.asarray(missed, dtype=np.int64) % num_banks,
+                    minlength=num_banks).tolist()
+            else:
+                mc = [0] * num_banks
+            bank_accesses = self.bank_accesses
+            bank_hits = self.bank_hits
+            bank_misses = self.bank_misses
+            for bank in range(num_banks):
+                accesses = acc[bank]
+                bank_misses_here = mc[bank]
+                bank_accesses[bank] += 2 * accesses
+                bank_hits[bank] += 2 * accesses - bank_misses_here
+                bank_misses[bank] += bank_misses_here
+        return miss_out, dirty_out, occ_b_out, occ_p_out
+
+    def _fetch_read_epoch_ranges(self, lows, highs, counts,
+                                 category: str = "B"):
+        """Range-at-a-time :meth:`fetch_read_epoch` (set-space wraps)."""
+        cat_code = _CAT_CODE[category]
+        slot_of = self._slot_of
+        keys = self._key
+        install = self._install
+        num_sets = self.num_sets
+        num_banks = len(self.bank_accesses)
+        bank_accesses = self.bank_accesses
+        bank_hits = self.bank_hits
+        bank_misses = self.bank_misses
+        occupancy = self.occupancy
+        stats = self.stats
+        hits = 0
+        misses = 0
+        fused_lines = 0
+        miss_out = []
+        dirty_out = []
+        occ_b_out = []
+        occ_p_out = []
+        pos = 0
+        for count in counts:
+            group_misses = 0
+            dirty_before = stats.dirty_evictions
+            for _ in range(count):
+                lo = lows[pos]
+                hi = highs[pos]
+                pos += 1
+                if hi - lo > num_sets:
+                    # Rare set-space wrap: exact two-pass fallback
+                    # (flushes its own fetch/read stats).
+                    m1, _ = self.fetch_range(lo, hi, category)
+                    m2, _ = self.read_range(lo, hi, category)
+                    group_misses += m1 + m2
+                    continue
+                for addr in range(lo, hi):
+                    bank = addr % num_banks
+                    bank_accesses[bank] += 2
+                    bank_hits[bank] += 1
+                    slot = slot_of.get(addr)
+                    if slot is not None:
+                        hits += 1
+                        bank_hits[bank] += 1
+                        k = keys[slot]
+                        if k >= _KEY_PRIO_SAT:
+                            k -= _KEY_PRIO_ONE
+                        keys[slot] = k | _KEY_RRPV0
+                    else:
+                        misses += 1
+                        group_misses += 1
+                        bank_misses[bank] += 1
+                        install(addr, cat_code, _KEY_RRPV0)
+                fused_lines += hi - lo
+            miss_out.append(group_misses)
+            dirty_out.append(stats.dirty_evictions - dirty_before)
+            occ_b_out.append(occupancy["B"])
+            occ_p_out.append(occupancy["partial"])
+        stats.fetch_hits += hits
+        stats.fetch_misses += misses
+        stats.read_hits += fused_lines
+        self.miss_lines[category] += misses
+        return miss_out, dirty_out, occ_b_out, occ_p_out
 
     def write_range(self, lo: int, hi: int,
                     category: str = "partial") -> Tuple[int, int]:
@@ -379,7 +623,7 @@ class FiberCache:
             raise ValueError(f"unknown line category {category!r}")
         cat_code = _CAT_CODE[category]
         slot_of = self._slot_of
-        rrpv = self._rrpv
+        keys = self._key
         dirty = self._dirty
         num_banks = len(self.bank_accesses)
         bank_accesses = self.bank_accesses
@@ -388,9 +632,11 @@ class FiberCache:
             bank_accesses[addr % num_banks] += 1
             slot = slot_of.get(addr)
             if slot is None:
-                slot = self._install(addr, cat_code)
+                # install at priority 0 then promote to rrpv 0.
+                slot = self._install(addr, cat_code, _KEY_RRPV0)
+            else:
+                keys[slot] |= _KEY_RRPV0
             dirty[slot] = 1
-            rrpv[slot] = 0
             # No priority bump: only fetch raises priority (Sec. 3.2), so
             # idle partial fibers spill to their reserved memory under
             # pressure instead of pinning capacity that B rows could use.
@@ -498,11 +744,12 @@ class FiberCache:
         slot = self._slot_of.get(addr)
         if slot is None:
             return None
+        key = self._key[slot]
         return LineView(
             addr=addr,
             category=_CATEGORIES[self._cat[slot]],
-            priority=self._prio[slot],
-            rrpv=self._rrpv[slot],
+            priority=key >> _KEY_PRIO_SHIFT,
+            rrpv=_RRPV_MAX - ((key >> _KEY_INV_SHIFT) & _RRPV_MAX),
             dirty=bool(self._dirty[slot]),
         )
 
@@ -518,13 +765,15 @@ class FiberCache:
         import numpy as np
 
         shape = (self.num_sets, self.num_ways)
+        keys = np.asarray(self._key, dtype=np.int64)
         return {
             "tags": np.asarray(self._tags, dtype=np.int64).reshape(shape),
-            "priority": np.asarray(self._prio, dtype=np.int64).reshape(shape),
-            "rrpv": np.asarray(self._rrpv, dtype=np.int64).reshape(shape),
+            "priority": (keys >> _KEY_PRIO_SHIFT).reshape(shape),
+            "rrpv": (_RRPV_MAX
+                     - ((keys >> _KEY_INV_SHIFT) & _RRPV_MAX)).reshape(shape),
             "dirty": np.asarray(self._dirty, dtype=bool).reshape(shape),
             "category": np.asarray(self._cat, dtype=np.int8).reshape(shape),
-            "seq": np.asarray(self._seq, dtype=np.int64).reshape(shape),
+            "seq": (keys & _KEY_SEQ_MASK).reshape(shape),
         }
 
     @property
@@ -594,6 +843,30 @@ class FiberCache:
         weighted["B"] += self.occupancy["B"] / total * weight
         weighted["partial"] += self.occupancy["partial"] / total * weight
         self._utilization_weight += weight
+
+    def sample_utilization_epoch(self, occ_b, occ_p, weights) -> None:
+        """Batched :meth:`sample_utilization` over an epoch of tasks.
+
+        Takes the per-task occupancy snapshots ``fetch_read_epoch``
+        returned plus each task's cycle weight, and folds them into the
+        running averages with the same expressions, in the same task
+        order, as per-task sampling — so the published time-weighted
+        utilization is bit-identical to the scalar path.
+        """
+        total = self.total_lines
+        weighted = self._utilization_weighted
+        acc_b = weighted["B"]
+        acc_p = weighted["partial"]
+        acc_w = self._utilization_weight
+        for occupied_b, occupied_p, weight in zip(occ_b, occ_p, weights):
+            if weight <= 0:
+                continue
+            acc_b += occupied_b / total * weight
+            acc_p += occupied_p / total * weight
+            acc_w += weight
+        weighted["B"] = acc_b
+        weighted["partial"] = acc_p
+        self._utilization_weight = acc_w
 
     def average_utilization(self) -> Dict[str, float]:
         """Time-averaged occupancy fractions recorded by sampling."""

@@ -140,3 +140,17 @@ class ProcessingElement:
 def task_cycles(input_lengths: Sequence[int]) -> int:
     """Closed-form PE busy time for a merge pass over these input sizes."""
     return max(1, sum(input_lengths))
+
+
+def epoch_cycles(total_input_elements):
+    """Vectorized :func:`task_cycles` for a whole epoch of merge passes.
+
+    Takes the per-task total input element counts as an integer array
+    and returns each task's busy cycles under the paper's PE timing law
+    (one merged input element per cycle, minimum one cycle per pass) —
+    the same value ``combine`` and ``combine_detailed`` report, so the
+    batched core's timing is bit-identical to per-task execution.
+    """
+    import numpy as np
+
+    return np.maximum(total_input_elements, 1)

@@ -1,53 +1,130 @@
-"""The Gamma accelerator simulator: functional + traffic + timing.
+"""The Gamma accelerator simulator: data-oriented, epoch-batched core.
 
-Runs Gustavson spMspM exactly as the hardware would organize it: the
-scheduler streams fragments of A in processing order, expands them into
-balanced top-full task trees, and dispatches tasks across PEs; every input
-fiber touch goes through the FiberCache at 64 B line granularity; DRAM
-requests flow through a bandwidth-limited memory interface. Timing follows
-the paper's PE law (one merged input element per cycle) with list
-scheduling over PEs, so execution time reflects whichever of compute or
-memory binds — the basis of the paper's roofline analysis (Sec. 6.5).
+Functionally this is the same machine as
+:mod:`repro.core.simulator_ref` — Gustavson spMspM with scheduler-driven
+task trees, FiberCache line touches, a bandwidth-limited memory channel,
+and the paper's PE timing law — and it is lockstep-tested to produce
+bit-identical outputs, cycle counts, and traffic breakdowns. What
+changed is the execution engine: instead of one Python
+``_execute_task`` call, heap transaction, and dict update per task, the
+run advances in *epochs*.
+
+An epoch is a maximal run of dispatches whose order the reference event
+loop would fix independently of task timing. Two stretch shapes
+qualify. With no task tree in flight, the scheduler only expands
+*simple* work items (untiled rows fitting the merger radix, each a
+single final leaf task) and :meth:`EpochScheduler.drain_stretch`
+extracts the whole cursor-consuming run. With trees in flight, the
+ready run of level-0 leaves — final and non-final alike — executes as a
+*fenced* epoch: the fence is the earliest instant a completion drain
+could make a waiting parent ready (:meth:`EpochScheduler.fence_plan`),
+dispatching stops when the PE-availability horizon reaches it, and each
+non-final dispatch arms its parent and lowers the fence in place so the
+stop condition stays exact. Either way the core works on
+struct-of-arrays state:
+
+* input gathering, B line ranges, and the PE timing law are evaluated
+  as numpy arrays over the whole batch (``epoch_cycles``);
+* every task's cache touches go through one
+  ``FiberCache.fetch_read_epoch`` call (fenced epochs keep per-task
+  ``fetch_read_range`` calls, so stopping at the fence leaves no
+  phantom cache state);
+* output fibers for the whole batch come from one composite-key merge
+  kernel (stable argsort + group reduction), bit-matched to
+  ``linear_combine``'s dict and array paths;
+* memory charges whose completion times feed nothing (C writes,
+  partial writebacks) are deferred and flushed in issue order via
+  ``MemoryInterface.request_epoch``.
+
+Only the dependency-chain tail proper — interior merge tasks and root
+emits, whose dispatch order genuinely depends on completion timing —
+falls back to the scalar per-task path, which is inherited unchanged
+from the reference run state. Non-final leaves dispatched in a fenced
+epoch keep the reference's side effects exactly: the partial-output
+budget rises per dispatch (with the reference's between-dispatch refill
+expansions replayed at the same budget values), partial lines are
+allocated and written in dispatch order, and completions enter the
+drain heap carrying the real task so parents unblock identically.
+Runs that collect a MetricsRegistry take the scalar path wholesale so
+every per-dispatch metric sample stays bit-identical; traces are
+supported in epoch mode (events are emitted from the batch timing
+loop with the same fields).
+
+See docs/architecture.md §13 for the layout and the epoch advancement
+rule, and ``tests/test_simulator_lockstep.py`` for the differential
+suite against the reference engine.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.config import ELEMENT_BYTES, GammaConfig, LINE_BYTES, OFFSET_BYTES
-from repro.core.dram import MemoryInterface
-from repro.core.fibercache import FiberCache
-from repro.core.pe import ProcessingElement
+from repro.core.pe import epoch_cycles
 from repro.core.result import SimulationResult
-from repro.core.scheduler import Scheduler, WorkProgram
-from repro.core.tasks import Task
+from repro.core.scheduler import EpochScheduler, WorkProgram
+from repro.core.simulator_ref import (_PARTIAL_BASE_LINE,  # noqa: F401
+                                      ReferenceGammaSimulator,
+                                      _ReferenceRunState)
 from repro.matrices.csr import CsrMatrix
-from repro.matrices.fiber import Fiber
+from repro.matrices.fiber import Fiber, _make_fiber
 
-#: Partial-fiber address space starts far above any B matrix layout.
-_PARTIAL_BASE_LINE = 1 << 40
+_INF = float("inf")
+
+
+class _FastDetailedPE:
+    """Serves ``combine_detailed`` from the fast functional model.
+
+    The two PE models are observably identical: ``combine_detailed``
+    reports ``cycles = max(1, len(merged))`` with every merged element
+    consuming exactly one input element and ``multiplies = total_in`` —
+    the same closed forms ``combine`` uses — and its accumulator fold
+    (scaled left-to-right over the (coordinate, way)-sorted element
+    stream) is the fold ``linear_combine`` evaluates array-wise. The
+    batched core therefore runs detailed-PE configurations through the
+    vectorized path; the reference engine keeps walking the per-cycle
+    pipeline, and the lockstep suite holds the two bit-identical.
+    """
+
+    __slots__ = ("_pe",)
+
+    def __init__(self, pe) -> None:
+        self._pe = pe
+
+    def __getattr__(self, name):
+        return getattr(self._pe, name)
+
+    def combine_detailed(self, fibers, scales, semiring=None):
+        return self._pe.combine(fibers, scales, semiring=semiring)
 
 
 class GammaSimulator:
-    """Simulates one spMspM on a Gamma system.
+    """Simulates one spMspM on a Gamma system (batched engine).
+
+    Drop-in replacement for :class:`ReferenceGammaSimulator` — same
+    constructor, same results bit-for-bit — advancing execution in
+    epochs instead of per-task events. Custom semirings without a
+    declared ``add_ufunc`` have no vectorizable accumulation, so those
+    runs delegate to the reference engine wholesale.
 
     Args:
         config: Hardware parameters.
         multi_pe_scheduling: Scheduler mode (Fig. 20 ablation); the default
             True lets tasks of one row run on any PE.
         keep_output: Retain the computed C matrix in the result (disable to
-            save memory on large sweeps).
+            save memory on large sweeps; also skips output-value
+            computation entirely, since structure alone determines
+            traffic and timing).
         semiring: Scalar algebra for the PEs' multiply/accumulate units;
-            None selects ordinary (+, x). Graph analytics use e.g. the
-            boolean or tropical semirings (see :mod:`repro.semiring`).
+            None selects ordinary (+, x).
         trace: Optional :class:`~repro.core.trace.ExecutionTrace` that
             records one event per executed task.
         metrics: Optional :class:`~repro.obs.MetricsRegistry`; when set,
-            the simulator, FiberCache, scheduler, and memory interface
-            publish cycle-level measurements into it (phase accounting,
-            per-bank hit rates, PE busy/idle, DRAM stream time series).
-            ``None`` (the default) collects nothing and costs nothing.
+            the run executes on the scalar path so per-dispatch samples
+            match the reference engine exactly.
     """
 
     def __init__(
@@ -66,156 +143,157 @@ class GammaSimulator:
         self.trace = trace
         self.metrics = metrics
 
-    # ------------------------------------------------------------------
     def run(
         self,
         a: CsrMatrix,
         b: CsrMatrix,
         program: Optional[WorkProgram] = None,
     ) -> SimulationResult:
-        """Execute C = A x B.
-
-        Args:
-            a: Left operand (CSR).
-            b: Right operand (CSR) — Gustavson consumes B by rows.
-            program: Optional preprocessed work program; defaults to plain
-                row order.
-
-        Returns:
-            A :class:`SimulationResult` with the output matrix, cycle count,
-            and the full traffic breakdown.
-        """
+        """Execute C = A x B; see :meth:`ReferenceGammaSimulator.run`."""
+        if (self.semiring is not None and not self.semiring.is_arithmetic
+                and self.semiring.add_ufunc is None):
+            return ReferenceGammaSimulator(
+                self.config, self.multi_pe_scheduling, self.keep_output,
+                self.semiring, self.trace, self.metrics,
+            ).run(a, b, program=program)
         if a.num_cols != b.num_rows:
             raise ValueError(
                 f"inner dimensions differ: {a.shape} x {b.shape}"
             )
         if program is None:
             program = WorkProgram.from_matrix(a)
-        state = _RunState(self.config, a, b, program,
-                          self.multi_pe_scheduling, self.semiring,
-                          self.trace, self.metrics)
+        state = _BatchedRunState(self.config, a, b, program,
+                                 self.multi_pe_scheduling, self.semiring,
+                                 self.trace, self.metrics,
+                                 keep_output=self.keep_output)
         state.execute()
         return state.result(self.keep_output)
 
 
-class _RunState:
-    """All mutable state of one simulation run."""
+class _BatchedRunState(_ReferenceRunState):
+    """Run state with struct-of-arrays epoch execution.
 
-    def __init__(
-        self,
-        config: GammaConfig,
-        a: CsrMatrix,
-        b: CsrMatrix,
-        program: WorkProgram,
-        multi_pe: bool,
-        semiring=None,
-        trace=None,
-        metrics=None,
-    ) -> None:
-        self.config = config
-        self.semiring = semiring
-        self.trace = trace
-        self.metrics = metrics
-        self.a = a
-        self.b = b
-        self.program = program
-        self.multi_pe = multi_pe
-        self.cache = FiberCache(config)
-        self.memory = MemoryInterface(
-            config.bytes_per_cycle, config.memory_latency_cycles,
-            metrics=metrics,
-        )
-        self.scheduler = Scheduler(
+    Inherits all scalar machinery — ``_execute_task``, PE picking,
+    metrics publishing, result assembly — from the reference run state
+    and overrides the main loop to carve timing-independent stretches
+    into batched epochs.
+    """
+
+    def __init__(self, config, a, b, program, multi_pe, semiring=None,
+                 trace=None, metrics=None, keep_output=True) -> None:
+        super().__init__(config, a, b, program, multi_pe, semiring,
+                         trace, metrics)
+        # Same construction arguments as the base Scheduler: the epoch
+        # variant is bit-neutral and only adds stretch extraction.
+        self.scheduler = EpochScheduler(
             program,
             radix=config.radix,
             multi_pe=multi_pe,
             max_outstanding_partials=2 * config.num_pes,
             metrics=metrics,
         )
-        self.pe_model = ProcessingElement(config.radix)
-        # PE availability: heap of (free_time, pe_id).
-        self.pe_free: List[Tuple[float, int]] = [
-            (0.0, pe) for pe in range(config.num_pes)
-        ]
-        heapq.heapify(self.pe_free)
-        self.row_pe: Dict[int, int] = {}
-        self.pe_free_times: List[float] = [0.0] * config.num_pes
-        self.pe_busy_cycles: List[float] = [0.0] * config.num_pes
-        self.finish_time: Dict[int, float] = {}
-        self.partial_fibers: Dict[int, Fiber] = {}
-        self.partial_lines: Dict[int, Tuple[int, int]] = {}
-        self._partial_cursor = _PARTIAL_BASE_LINE
-        #: B rows are re-touched by many tasks; memoize the Fiber view and
-        #: line range per row for the run instead of re-slicing per touch.
-        self._b_rows: Dict[int, Tuple[Fiber, int, int]] = {}
-        self.output_rows: Dict[int, Fiber] = {}
-        self.pe_busy = 0.0
-        self.flops = 0
-        self.num_tasks = 0
-        self.num_partials = 0
-        self.now = 0.0
-
-    # -- address mapping -------------------------------------------------
-    def _b_row_lines(self, row: int) -> Tuple[int, int]:
-        """Line address range [lo, hi) of one B row in the matrix layout."""
-        start = int(self.b.offsets[row]) * ELEMENT_BYTES
-        end = int(self.b.offsets[row + 1]) * ELEMENT_BYTES
-        return (start // LINE_BYTES, -(-end // LINE_BYTES))
-
-    def _allocate_partial_lines(self, nnz: int) -> Tuple[int, int]:
-        """Reserve line-aligned space for a partial fiber (Sec. 3.4)."""
-        lines = max(1, -(-nnz * ELEMENT_BYTES // LINE_BYTES))
-        lo = self._partial_cursor
-        self._partial_cursor += lines
-        return (lo, lo + lines)
+        self.keep_output = keep_output
+        if config.detailed_pe_model:
+            self.pe_model = _FastDetailedPE(self.pe_model)
+        # Per-dispatch metric samples can't be replayed from batch
+        # aggregates, so metric runs stay on the scalar path throughout.
+        self.use_epochs = metrics is None
+        #: Output-row lengths (c_nnz and C-write sizing) — maintained even
+        #: when output values are skipped.
+        self.output_len: Dict[int, int] = {}
 
     # -- main loop --------------------------------------------------------
     def execute(self) -> None:
-        """Event-ordered list scheduling.
+        """Epoch-batched list scheduling.
 
-        Ready tasks dispatch eagerly to the earliest-free PE; tasks whose
-        dependencies are still in flight become ready only when the
-        completion event fires, keeping dispatch (and therefore memory
-        requests) in near-monotonic time order.
+        Identical decision sequence to the reference event loop; whenever
+        the loop reaches a dispatch point whose upcoming dispatch order
+        is provably timing-independent (nothing waiting, final leaf at
+        the head), the whole stretch executes as one epoch.
         """
         target_pending = 2 * self.config.num_pes
-        completions: List[Tuple[float, int, Task]] = []
+        completions: List = []
         sequence = 0
+        scheduler = self.scheduler
+        items = self.program.items
+        use_epochs = self.use_epochs
         while True:
-            self.scheduler.refill(
-                target_pending, allow_force=not completions
-            )
-            # A PE picks its task the moment it frees: release every
-            # dependency that completes by then, so the highest-priority
-            # task available *at that time* wins (dynamic scheduling,
-            # Sec. 3.3) instead of committing PEs to far-future work.
-            next_pe_time = self.pe_free[0][0] if self.multi_pe else (
-                min(self.pe_free_times)
-            )
+            scheduler.refill(target_pending, allow_force=not completions)
+            next_pe_time = self._next_pe_time()
             while completions and completions[0][0] <= next_pe_time:
                 _, _, done = heapq.heappop(completions)
-                self.scheduler.task_completed(done)
-                self.scheduler.refill(
-                    target_pending, allow_force=not completions
-                )
-            task = self.scheduler.next_task()
+                if done is not None:
+                    scheduler.task_completed(done)
+                scheduler.refill(target_pending,
+                                 allow_force=not completions)
+            if use_epochs:
+                head = scheduler.peek_ready()
+                if head is not None and head.level == 0:
+                    if not scheduler.has_blocked_tasks():
+                        # No task tree in flight: the head is a simple
+                        # final leaf (a non-final leaf implies a waiting
+                        # parent) and the whole cursor-consuming stretch
+                        # is timing-independent end to end.
+                        batch = scheduler.drain_stretch(target_pending)
+                        sequence = self._execute_epoch(
+                            batch, completions, sequence)
+                        continue
+                    entries = scheduler.drain_ready_leaves()
+                    ids = [entry[1].task_id for entry in entries]
+                    fence, waiters = scheduler.fence_plan(
+                        self.finish_time, ids)
+                    if fence == _INF and not waiters:
+                        # Every drained leaf is final (a non-final leaf
+                        # would put its armable parent in ``waiters``)
+                        # and nothing armed can become ready mid-stretch
+                        # (any unemitted combine still depends on an
+                        # undispatched root), so the cursor fast path
+                        # applies.
+                        scheduler.push_back(entries)
+                        batch = scheduler.drain_stretch(target_pending)
+                        sequence = self._execute_epoch(
+                            batch, completions, sequence)
+                    else:
+                        new_sequence = self._execute_epoch_fenced(
+                            entries, ids, fence, waiters, completions,
+                            sequence, target_pending)
+                        if new_sequence == sequence:
+                            # Unreachable per the fence invariant (the
+                            # fence clears the PE horizon at epoch
+                            # entry); degrade to one scalar dispatch
+                            # rather than spin.
+                            task = scheduler.next_task()
+                            finish = self._execute_task(task)
+                            heapq.heappush(
+                                completions, (finish, sequence, task))
+                            sequence += 1
+                        else:
+                            sequence = new_sequence
+                    continue
+            task = scheduler.next_task()
             if task is not None:
                 finish = self._execute_task(task)
                 heapq.heappush(completions, (finish, sequence, task))
                 sequence += 1
                 continue
             if completions:
+                if (not scheduler.has_blocked_tasks()
+                        and scheduler._item_cursor >= len(items)):
+                    # Nothing can become ready anymore: the remaining
+                    # completion drains are bookkeeping no-ops, so skip
+                    # the one-pop-per-iteration tail wholesale.
+                    completions.clear()
+                    continue
                 _, _, done = heapq.heappop(completions)
-                self.scheduler.task_completed(done)
+                if done is not None:
+                    scheduler.task_completed(done)
                 continue
-            if self.scheduler.exhausted:
+            if scheduler.exhausted:
                 break
             raise RuntimeError(
                 "scheduler stalled with blocked tasks outstanding"
             )
         self._account_a_traffic()
-        # A is streamed in alongside everything else; the run can never be
-        # shorter than total traffic at full bandwidth.
         bandwidth_floor = (
             self.memory.traffic.total_bytes / self.config.bytes_per_cycle
         )
@@ -227,234 +305,509 @@ class _RunState:
         if self.metrics is not None:
             self._publish_run_metrics(bandwidth_floor)
 
-    def _pick_pe(self, task: Task) -> int:
-        if self.multi_pe:
-            _, pe = heapq.heappop(self.pe_free)
-            return pe
-        pe = self.row_pe.get(task.row)
-        if pe is None:
-            pe = min(
-                range(self.config.num_pes),
-                key=lambda i: self.pe_free_times[i],
-            )
-            self.row_pe[task.row] = pe
-        return pe
-
-    def _execute_task(self, task: Task) -> float:
-        self.num_tasks += 1
-        pe = self._pick_pe(task)
-
-        # --- gather input fibers and stream them through the FiberCache ---
-        # One pass over the inputs: dependency readiness, fiber views, and
-        # one batched cache call per input (see docs/architecture.md §10 —
-        # no per-line Python calls here).
-        fibers: List[Fiber] = []
-        scales: List[float] = []
-        cache = self.cache
-        b_rows = self._b_rows
-        deps_ready = 0.0
-        b_miss_lines = 0
-        partial_miss_lines = 0
-        dirty_evictions = 0
-        for inp in task.inputs:
-            if inp.kind == "B":
-                row = inp.index
-                cached = b_rows.get(row)
-                if cached is None:
-                    lo, hi = self._b_row_lines(row)
-                    cached = (self.b.row(row), lo, hi)
-                    b_rows[row] = cached
-                fiber, lo, hi = cached
-                misses, dirty = cache.fetch_read_range(lo, hi, "B")
-                b_miss_lines += misses
-                dirty_evictions += dirty
-                scales.append(inp.scale)
-            else:
-                finish = self.finish_time[inp.index]
-                if finish > deps_ready:
-                    deps_ready = finish
-                fiber = self.partial_fibers.pop(inp.index)
-                lo, hi = self.partial_lines.pop(inp.index)
-                misses, _ = cache.consume_range(lo, hi)
-                partial_miss_lines += misses
-                self.scheduler.partial_consumed()
-                if self.semiring is not None:
-                    # Partial fibers pass through unscaled: the semiring's
-                    # multiplicative identity, not necessarily 1.0.
-                    scales.append(self.semiring.one)
-                else:
-                    scales.append(inp.scale)
-            fibers.append(fiber)
-        start = max(self.pe_free_times[pe], deps_ready)
-        data_ready = start
-        if b_miss_lines:
-            data_ready = max(data_ready, self.memory.request(
-                "B", b_miss_lines * LINE_BYTES, start))
-        if partial_miss_lines:
-            data_ready = max(data_ready, self.memory.request(
-                "partial_read", partial_miss_lines * LINE_BYTES, start))
-
-        # --- compute ------------------------------------------------------
-        if self.config.detailed_pe_model:
-            pe_result = self.pe_model.combine_detailed(
-                fibers, scales, semiring=self.semiring)
-        else:
-            pe_result = self.pe_model.combine(
-                fibers, scales, semiring=self.semiring)
-        self.flops += pe_result.multiplies
-        compute_finish = start + pe_result.cycles
-        finish = max(compute_finish, data_ready)
-        self.pe_busy += pe_result.cycles
-        self.pe_busy_cycles[pe] += pe_result.cycles
-
-        # --- emit output ----------------------------------------------------
-        output = pe_result.output
+    # -- scalar-path hook -------------------------------------------------
+    def _execute_task(self, task):
+        finish = super()._execute_task(task)
         if task.is_final:
-            self.output_rows[task.row] = output
-            out_bytes = len(output) * ELEMENT_BYTES + OFFSET_BYTES
-            self.memory.request("C", out_bytes, finish)
-        else:
-            self.num_partials += 1
-            lines = self._allocate_partial_lines(len(output))
-            self.partial_fibers[task.task_id] = output
-            self.partial_lines[task.task_id] = lines
-            _, dirty = self.cache.write_range(lines[0], lines[1], "partial")
-            dirty_evictions += dirty
-        if dirty_evictions:
-            self.memory.request(
-                "partial_write", dirty_evictions * LINE_BYTES, finish)
-
-        self.pe_free_times[pe] = finish
-        if self.multi_pe:
-            heapq.heappush(self.pe_free, (finish, pe))
-        self.finish_time[task.task_id] = finish
-        self.cache.sample_utilization(weight=pe_result.cycles)
-        if self.metrics is not None:
-            self._publish_task_metrics(
-                task, pe_result, finish, compute_finish, data_ready,
-                b_miss_lines, partial_miss_lines)
-        if self.trace is not None:
-            from repro.core.trace import TaskEvent
-
-            self.trace.record(TaskEvent(
-                task_id=task.task_id,
-                row=task.row,
-                level=task.level,
-                is_final=task.is_final,
-                pe=pe,
-                start=start,
-                finish=finish,
-                busy_cycles=pe_result.cycles,
-                b_miss_lines=b_miss_lines,
-                partial_miss_lines=partial_miss_lines,
-            ))
+            self.output_len[task.row] = len(self.output_rows[task.row])
         return finish
 
-    # -- observability ----------------------------------------------------
-    def _publish_task_metrics(
-        self, task: Task, pe_result, finish: float,
-        compute_finish: float, data_ready: float,
-        b_miss_lines: int, partial_miss_lines: int,
-    ) -> None:
-        """Per-task publishing: phase cycles, distributions, timelines."""
-        metrics = self.metrics
-        # Phase accounting: the task's PE occupancy splits into pure
-        # compute and the memory-bound tail spent waiting for data.
-        metrics.counter("cycles/compute").inc(pe_result.cycles)
-        metrics.counter("cycles/memory_stall").inc(
-            max(0.0, data_ready - compute_finish))
-        metrics.counter("tasks/dispatched").inc()
-        if task.is_final:
-            metrics.counter("tasks/final").inc()
+    # -- epoch execution --------------------------------------------------
+    def _execute_epoch(self, batch, completions, sequence: int) -> int:
+        """Execute one epoch of final-leaf tasks on array state.
+
+        ``batch`` is the struct-of-arrays stretch from
+        :meth:`EpochScheduler.drain_stretch`: parallel ``(rows,
+        task_ids, coords, scales)`` sequences, one entry per dispatch.
+        """
+        rows, task_ids, coord_parts, scale_parts = batch
+        offsets = self.b.offsets
+        num_tasks = len(rows)
+        counts = np.fromiter((len(part) for part in coord_parts),
+                             dtype=np.int64, count=num_tasks)
+        all_rows = (np.concatenate(coord_parts) if num_tasks > 1
+                    else np.asarray(coord_parts[0], dtype=np.int64))
+        row_start = offsets[all_rows]
+        nnzs = offsets[all_rows + 1] - row_start
+
+        # One fused fetch+read per B input, whole epoch in one call.
+        start_bytes = row_start * ELEMENT_BYTES
+        end_bytes = (row_start + nnzs) * ELEMENT_BYTES
+        lows = start_bytes // LINE_BYTES
+        highs = -(-end_bytes // LINE_BYTES)
+        misses, dirties, occ_b, occ_p = self.cache.fetch_read_epoch(
+            lows, highs, counts, "B")
+
+        # PE timing law over the batch.
+        input_first = np.empty(num_tasks, dtype=np.int64)
+        input_first[0] = 0
+        np.cumsum(counts[:-1], out=input_first[1:])
+        input_task = np.repeat(np.arange(num_tasks, dtype=np.int64), counts)
+        totals = np.add.reduceat(nnzs, input_first)
+        cycles = epoch_cycles(totals)
+        total_elements = int(totals.sum())
+        self.flops += total_elements
+        self.num_tasks += num_tasks
+
+        out_lens = self._combine_epoch(
+            rows, scale_parts, row_start, nnzs, input_task, input_first,
+            counts, total_elements, num_tasks)
+
+        # Bulk time advancement: earliest-free assignment per task, B
+        # requests issued at dispatch, result-less charges deferred.
+        multi = self.multi_pe
+        pe_free = self.pe_free
+        free_times = self.pe_free_times
+        busy_cycles = self.pe_busy_cycles
+        row_pe = self.row_pe
+        memory = self.memory
+        trace = self.trace
+        output_len = self.output_len
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        cycle_list = cycles.tolist()
+        len_list = out_lens.tolist()
+        pending: List = []
+        finishes: List[float] = []
+        pe_busy = 0.0
+        threshold = 0.0
+        if trace is not None:
+            from repro.core.trace import TaskEvent
+        for i in range(num_tasks):
+            row = rows[i]
+            if multi:
+                start, pe = heappop(pe_free)
+                threshold = start
+            else:
+                while pe_free[0][0] != free_times[pe_free[0][1]]:
+                    heappop(pe_free)
+                threshold = pe_free[0][0]
+                pe = row_pe.get(row)
+                if pe is None:
+                    pe = pe_free[0][1]
+                    row_pe[row] = pe
+                start = free_times[pe]
+            miss = misses[i]
+            cyc = cycle_list[i]
+            if miss:
+                if pending:
+                    memory.request_epoch(pending)
+                    pending = []
+                data_ready = memory.request(
+                    "B", miss * LINE_BYTES, start)
+                finish = start + cyc
+                if data_ready > finish:
+                    finish = data_ready
+            else:
+                finish = start + cyc
+            free_times[pe] = finish
+            heappush(pe_free, (finish, pe))
+            busy_cycles[pe] += cyc
+            pe_busy += cyc
+            out_len = len_list[i]
+            output_len[row] = out_len
+            pending.append(
+                ("C", out_len * ELEMENT_BYTES + OFFSET_BYTES, finish))
+            dirty = dirties[i]
+            if dirty:
+                pending.append(
+                    ("partial_write", dirty * LINE_BYTES, finish))
+            finishes.append(finish)
+            if trace is not None:
+                trace.record(TaskEvent(
+                    task_id=task_ids[i],
+                    row=row,
+                    level=0,
+                    is_final=True,
+                    pe=pe,
+                    start=start,
+                    finish=finish,
+                    busy_cycles=cyc,
+                    b_miss_lines=miss,
+                    partial_miss_lines=0,
+                ))
+        if pending:
+            memory.request_epoch(pending)
+        self.pe_busy += pe_busy
+        self.cache.sample_utilization_epoch(occ_b, occ_p, cycle_list)
+        # Catch up the completion drains the reference loop performed
+        # during the stretch: everything finishing by the PE-availability
+        # horizon it saw before the last dispatch is already completed.
+        # Epoch tasks are final leaves — completing one is pure
+        # bookkeeping (final ids are never consulted by a dependency
+        # scan) — so drained epoch completions vanish outright and only
+        # the still-in-flight tail enters the completions heap.
+        scheduler = self.scheduler
+        while completions and completions[0][0] <= threshold:
+            _, _, done = heappop(completions)
+            if done is not None:
+                scheduler.task_completed(done)
+        for i in range(num_tasks):
+            finish = finishes[i]
+            if finish > threshold:
+                heappush(completions, (finish, sequence + i, None))
+        return sequence + num_tasks
+
+    def _execute_epoch_fenced(self, entries, ids, fence: float, waiters,
+                              completions, sequence: int,
+                              target_pending: int) -> int:
+        """Execute a leaf stretch bounded by a ready-fence.
+
+        With task trees in flight, the reference loop keeps dispatching
+        level-0 leaves back-to-back until its PE-availability horizon
+        reaches the *fence* — the earliest time a completion drain can
+        make a waiting parent ready (``EpochScheduler.fence_plan``), at
+        which point the parent preempts every later-ordered leaf. This
+        path batches exactly that run: cache touches stay per-task (so
+        stopping at the fence leaves no phantom state) while input
+        gathering, output lengths, and the merge kernel run vectorized;
+        the undispatched suffix returns to the ready heap verbatim.
+
+        Both final leaves and non-final tree leaves dispatch here.
+        A non-final leaf allocates and writes its partial-fiber lines in
+        dispatch order (bit-identical cache evolution), records its
+        finish for dependants, and folds that finish into the
+        ``waiters`` records of parents it helps arm — lowering the
+        fence on the spot, so the stop condition stays exact while the
+        stretch itself changes which parents are armed. Its completion
+        enters the heap carrying the real task so the drain unblocks
+        the parent exactly like the reference loop's.
+
+        ``entries`` are the raw heap entries from
+        ``drain_ready_leaves``; ``ids`` their task ids in order.
+        """
+        num_batch = len(entries)
+        offsets = self.b.offsets
+        tasks = [entry[1] for entry in entries]
+        rows = [task.row for task in tasks]
+        finals = [task.is_final for task in tasks]
+        coord_parts = []
+        scale_parts = []
+        for task in tasks:
+            coords = getattr(task, "b_coords", None)
+            if coords is None:
+                # Tree leaf: materialize the TaskInput list once as
+                # arrays (all inputs are B rows at level 0).
+                inputs = task.inputs
+                n = len(inputs)
+                coords = np.fromiter((inp.index for inp in inputs),
+                                     dtype=np.int64, count=n)
+                scales = np.fromiter((inp.scale for inp in inputs),
+                                     dtype=np.float64, count=n)
+            else:
+                scales = task.b_scales
+            coord_parts.append(coords)
+            scale_parts.append(scales)
+        counts = np.fromiter((len(part) for part in coord_parts),
+                             dtype=np.int64, count=num_batch)
+        all_rows = (np.concatenate(coord_parts) if num_batch > 1
+                    else np.asarray(coord_parts[0], dtype=np.int64))
+        row_start = offsets[all_rows]
+        nnzs = offsets[all_rows + 1] - row_start
+        start_bytes = row_start * ELEMENT_BYTES
+        end_bytes = (row_start + nnzs) * ELEMENT_BYTES
+        lows = (start_bytes // LINE_BYTES).tolist()
+        highs = (-(-end_bytes // LINE_BYTES)).tolist()
+
+        input_first = np.empty(num_batch, dtype=np.int64)
+        input_first[0] = 0
+        np.cumsum(counts[:-1], out=input_first[1:])
+        input_task = np.repeat(np.arange(num_batch, dtype=np.int64), counts)
+        totals = np.add.reduceat(nnzs, input_first)
+        cycle_list = epoch_cycles(totals).tolist()
+        total_elements = int(totals.sum())
+
+        # Output lengths for the whole chunk up front (value-independent,
+        # needed in-loop to size each C write before the next flush).
+        if total_elements:
+            block_start = np.cumsum(nnzs) - nnzs
+            gather = np.arange(total_elements, dtype=np.int64)
+            gather += np.repeat(row_start - block_start, nnzs)
+            el_task = np.repeat(input_task, nnzs)
+            key = el_task * np.int64(self.b.num_cols) + self.b.coords[gather]
+            order = np.argsort(key, kind="stable")
+            sorted_key = key[order]
+            flags = np.empty(total_elements, dtype=bool)
+            flags[0] = True
+            np.not_equal(sorted_key[1:], sorted_key[:-1], out=flags[1:])
+            len_list = np.bincount(el_task[order][flags],
+                                   minlength=num_batch).tolist()
         else:
-            metrics.counter("tasks/partial_outputs").inc()
-        metrics.histogram("task/level").observe(task.level)
-        metrics.histogram("task/inputs").observe(task.num_inputs)
-        metrics.histogram("task/busy_cycles").observe(pe_result.cycles)
-        miss_bytes = (b_miss_lines + partial_miss_lines) * LINE_BYTES
-        metrics.series("timeline/busy").sample(finish, pe_result.cycles)
-        metrics.series("timeline/miss_bytes").sample(finish, miss_bytes)
-        occupancy = self.cache.utilization()
-        metrics.series("timeline/occupancy_B").sample(
-            finish, occupancy["B"])
-        metrics.series("timeline/occupancy_partial").sample(
-            finish, occupancy["partial"])
+            len_list = [0] * num_batch
 
-    def _publish_run_metrics(self, bandwidth_floor: float) -> None:
-        """End-of-run publishing: PE busy/idle split, cache, bounds."""
-        metrics = self.metrics
-        metrics.gauge("run/cycles").set(self.now)
-        metrics.gauge("run/pe_makespan_cycles").set(
-            max(self.pe_free_times, default=0.0))
-        metrics.gauge("run/memory_busy_cycles").set(self.memory.busy_until)
-        metrics.gauge("run/bandwidth_floor_cycles").set(bandwidth_floor)
-        metrics.gauge("run/flops").set(self.flops)
-        metrics.set_info(
-            "run/bound",
-            "memory" if bandwidth_floor >= max(
-                self.pe_free_times, default=0.0) else "compute",
-        )
-        metrics.set_info("system", {
-            "num_pes": self.config.num_pes,
-            "radix": self.config.radix,
-            "frequency_hz": self.config.frequency_hz,
-            "bytes_per_cycle": self.config.bytes_per_cycle,
-            "fibercache_bytes": self.config.fibercache_bytes,
-            "fibercache_banks": self.config.fibercache_banks,
-        })
-        for pe, busy in enumerate(self.pe_busy_cycles):
-            idle = self.now - busy
-            metrics.series("pe/busy").sample(pe, busy)
-            metrics.series("pe/idle").sample(pe, idle)
-            metrics.histogram("pe/busy_cycles").observe(busy)
-            metrics.counter("cycles/pe_busy_total").inc(busy)
-            metrics.counter("cycles/pe_idle_total").inc(idle)
-        metrics.counter("sched/tasks_created").inc(
-            self.scheduler.tasks_created)
-        metrics.counter("sched/items_consumed").inc(
-            self.scheduler.items_consumed)
-        self.cache.publish_metrics(metrics)
+        multi = self.multi_pe
+        pe_free = self.pe_free
+        free_times = self.pe_free_times
+        busy_cycles = self.pe_busy_cycles
+        row_pe = self.row_pe
+        memory = self.memory
+        cache = self.cache
+        fetch = cache.fetch_read_range
+        write = cache.write_range
+        sample = cache.sample_utilization
+        allocate = self._allocate_partial_lines
+        partial_lines = self.partial_lines
+        finish_time = self.finish_time
+        trace = self.trace
+        output_len = self.output_len
+        scheduler = self.scheduler
+        refill_epoch = scheduler.refill_epoch
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        first_list = input_first.tolist()
+        count_list = counts.tolist()
+        pending: List = []
+        finishes: List[float] = []
+        pe_busy = 0.0
+        threshold = 0.0
+        dispatched = num_batch
+        # Chunks that dispatch non-final leaves move the partial-output
+        # budget, which gates the reference loop's between-dispatch
+        # refills; replay those refills in-loop so an expansion the
+        # reference performed (or skipped) right at the budget edge
+        # lands identically. All-final chunks leave the budget static,
+        # so their refills defer to the main loop unchanged.
+        needs_refill = not all(finals)
+        if trace is not None:
+            from repro.core.trace import TaskEvent
+        for i in range(num_batch):
+            row = rows[i]
+            if multi:
+                thr = pe_free[0][0]
+            else:
+                while pe_free[0][0] != free_times[pe_free[0][1]]:
+                    heappop(pe_free)
+                thr = pe_free[0][0]
+            if thr >= fence:
+                dispatched = i
+                break
+            threshold = thr
+            if multi:
+                start, pe = heappop(pe_free)
+            else:
+                pe = row_pe.get(row)
+                if pe is None:
+                    pe = pe_free[0][1]
+                    row_pe[row] = pe
+                start = free_times[pe]
+            miss = 0
+            dirty = 0
+            base = first_list[i]
+            for j in range(base, base + count_list[i]):
+                got_miss, got_dirty = fetch(lows[j], highs[j], "B")
+                miss += got_miss
+                dirty += got_dirty
+            cyc = cycle_list[i]
+            if miss:
+                if pending:
+                    memory.request_epoch(pending)
+                    pending = []
+                data_ready = memory.request("B", miss * LINE_BYTES, start)
+                finish = start + cyc
+                if data_ready > finish:
+                    finish = data_ready
+            else:
+                finish = start + cyc
+            free_times[pe] = finish
+            heappush(pe_free, (finish, pe))
+            busy_cycles[pe] += cyc
+            pe_busy += cyc
+            out_len = len_list[i]
+            if finals[i]:
+                output_len[row] = out_len
+                pending.append(
+                    ("C", out_len * ELEMENT_BYTES + OFFSET_BYTES, finish))
+            else:
+                tid = ids[i]
+                self.num_partials += 1
+                # Mirror ``Scheduler.next_task``: dispatching a
+                # non-final task brings one more partial output fiber
+                # into existence (Sec. 3.4 budget).
+                scheduler.outstanding_partials += 1
+                lines = allocate(out_len)
+                partial_lines[tid] = lines
+                _, write_dirty = write(lines[0], lines[1], "partial")
+                dirty += write_dirty
+                finish_time[tid] = finish
+                records = waiters.get(tid)
+                if records is not None:
+                    for record in records:
+                        if finish > record[1]:
+                            record[1] = finish
+                        record[0] -= 1
+                        if record[0] == 0 and record[1] < fence:
+                            fence = record[1]
+            if dirty:
+                pending.append(
+                    ("partial_write", dirty * LINE_BYTES, finish))
+            finishes.append(finish)
+            sample(weight=cyc)
+            if trace is not None:
+                trace.record(TaskEvent(
+                    task_id=ids[i],
+                    row=row,
+                    level=0,
+                    is_final=finals[i],
+                    pe=pe,
+                    start=start,
+                    finish=finish,
+                    busy_cycles=cyc,
+                    b_miss_lines=miss,
+                    partial_miss_lines=0,
+                ))
+            if needs_refill:
+                refill_epoch(target_pending, num_batch - i - 1)
+        if pending:
+            memory.request_epoch(pending)
+        if dispatched < num_batch:
+            scheduler.push_back(entries[dispatched:])
+        if dispatched:
+            if dispatched == num_batch:
+                prefix_inputs = len(nnzs)
+                prefix_elements = total_elements
+            else:
+                prefix_inputs = int(first_list[dispatched])
+                prefix_elements = int(totals[:dispatched].sum())
+            self.flops += prefix_elements
+            self.num_tasks += dispatched
+            self.pe_busy += pe_busy
+            dispatched_finals = finals[:dispatched]
+            # Non-final leaves need their partial fibers materialized
+            # even on structure-only runs: parents merge real values.
+            if self.keep_output or not all(dispatched_finals):
+                self._combine_epoch(
+                    rows[:dispatched], scale_parts[:dispatched],
+                    row_start[:prefix_inputs], nnzs[:prefix_inputs],
+                    input_task[:prefix_inputs], input_first[:dispatched],
+                    counts[:dispatched], prefix_elements, dispatched,
+                    finals=dispatched_finals, ids=ids[:dispatched])
+        # Catch up the completion drains the reference loop performed
+        # during the stretch, in its exact (finish, sequence) order:
+        # merge the stretch's own completions into the heap first, then
+        # drain everything up to the horizon it saw before the last
+        # dispatch. Drained finals vanish (their ids are never consulted
+        # by a dependency scan); drained tree leaves unblock their
+        # parents — by the fence invariant none of those parents can
+        # have become ready at or below ``threshold``, so deferring the
+        # drains to the epoch boundary is order-equivalent.
+        for i in range(dispatched):
+            heappush(completions, (finishes[i], sequence + i,
+                                   None if finals[i] else tasks[i]))
+        while completions and completions[0][0] <= threshold:
+            _, _, done = heappop(completions)
+            if done is not None:
+                scheduler.task_completed(done)
+        return sequence + dispatched
 
-    # -- A-side streaming traffic ----------------------------------------
-    def _account_a_traffic(self) -> None:
-        a_bytes = self.a.nnz * ELEMENT_BYTES
-        a_bytes += len(self.program.items) * OFFSET_BYTES
-        self.memory.account("A", a_bytes)
+    def _combine_epoch(self, rows, scale_parts, row_start, nnzs, input_task,
+                       input_first, counts, total: int, num_tasks: int,
+                       finals=None, ids=None):
+        """Merge every task's B rows in one composite-key kernel.
 
-    # -- results ------------------------------------------------------------
+        Bit-matched to ``linear_combine``: the composite key
+        ``task * num_cols + coord`` makes one stable argsort order all
+        tasks' elements by (task, coordinate) with ties in input order,
+        so per-group reduction reproduces the scalar fold exactly —
+        zero-started ``np.bincount`` for arithmetic, first-element
+        ``add_ufunc.reduceat`` for semirings. Single-nonempty-input
+        tasks mirror the ``fiber.scale`` shortcut (a direct product,
+        no zero start) to preserve IEEE signed zeros.
+
+        With ``finals``/``ids`` (the fenced mixed path), each task's
+        fiber routes by kind: final rows to ``output_rows`` (under
+        ``keep_output``), tree-leaf partials to ``partial_fibers``
+        under their task id — always, since parents merge real values.
+        Without them every task is a final row. Returns the per-task
+        output lengths.
+        """
+        b = self.b
+        if finals is None:
+            need_values = self.keep_output
+        else:
+            need_values = self.keep_output or not all(finals)
+        if total == 0:
+            if need_values:
+                self._store_epoch_outputs(
+                    rows, finals, ids,
+                    lambda i: Fiber.empty())
+            return np.zeros(num_tasks, dtype=np.int64)
+        block_start = np.cumsum(nnzs) - nnzs
+        gather = np.arange(total, dtype=np.int64)
+        gather += np.repeat(row_start - block_start, nnzs)
+        el_coords = b.coords[gather]
+        el_task = np.repeat(input_task, nnzs)
+        key = el_task * np.int64(b.num_cols) + el_coords
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        flags = np.empty(total, dtype=bool)
+        flags[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=flags[1:])
+        out_lens = np.bincount(el_task[order][flags], minlength=num_tasks)
+        if not need_values:
+            return out_lens
+        all_scales = (np.concatenate(scale_parts) if num_tasks > 1
+                      else np.asarray(scale_parts[0], dtype=np.float64))
+        el_scales = np.repeat(all_scales, nnzs)
+        el_values = b.values[gather]
+        out_coords = el_coords[order][flags]
+        semiring = self.semiring
+        arithmetic = semiring is None or semiring.is_arithmetic
+        if arithmetic:
+            sorted_values = (el_values * el_scales)[order]
+            inverse = np.cumsum(flags)
+            inverse -= 1
+            out_values = np.bincount(inverse, weights=sorted_values)
+        else:
+            products = np.asarray(
+                semiring.mul_array(el_scales, el_values), dtype=np.float64)
+            out_values = np.asarray(
+                semiring.add_ufunc.reduceat(products[order],
+                                            np.flatnonzero(flags)),
+                dtype=np.float64)
+        bounds = np.cumsum(out_lens)
+        task_start = bounds - out_lens
+        if arithmetic:
+            # linear_combine's single-nonempty shortcut scales the fiber
+            # directly, with no zero-started fold; replay it so -0.0
+            # products survive bit-for-bit.
+            nonempty = np.bincount(input_task[nnzs > 0],
+                                   minlength=num_tasks)
+            b_values = b.values
+            nnz_list = nnzs
+            for t in np.flatnonzero(nonempty == 1).tolist():
+                first = input_first[t]
+                span = np.flatnonzero(
+                    nnz_list[first:first + counts[t]] > 0)
+                j = first + span[0]
+                lo = row_start[j]
+                out_values[task_start[t]:bounds[t]] = (
+                    b_values[lo:lo + nnz_list[j]] * all_scales[j])
+        task_bounds = bounds
+        self._store_epoch_outputs(
+            rows, finals, ids,
+            lambda i: _make_fiber(out_coords[task_start[i]:task_bounds[i]],
+                                  out_values[task_start[i]:task_bounds[i]]))
+        return out_lens
+
+    def _store_epoch_outputs(self, rows, finals, ids, make_fiber) -> None:
+        """Route each epoch task's fiber to its destination store."""
+        output_rows = self.output_rows
+        if finals is None:
+            for i, row in enumerate(rows):
+                output_rows[row] = make_fiber(i)
+            return
+        partial_fibers = self.partial_fibers
+        keep = self.keep_output
+        for i, row in enumerate(rows):
+            if finals[i]:
+                if keep:
+                    output_rows[row] = make_fiber(i)
+            else:
+                partial_fibers[ids[i]] = make_fiber(i)
+
+    # -- results ----------------------------------------------------------
     def c_nnz(self) -> int:
-        """Nonzeros of the computed output."""
-        return sum(len(f) for f in self.output_rows.values())
-
-    def compulsory(self) -> Dict[str, int]:
-        """Minimum traffic: read A, read touched B rows once, write C."""
-        from repro.analysis.traffic import compulsory_traffic
-
-        return compulsory_traffic(self.a, self.b, self.c_nnz())
-
-    def result(self, keep_output: bool) -> SimulationResult:
-        output = None
-        if keep_output:
-            rows = [
-                self.output_rows.get(r, Fiber.empty())
-                for r in range(self.a.num_rows)
-            ]
-            output = CsrMatrix.from_rows(rows, self.b.num_cols)
-        return SimulationResult(
-            output=output,
-            cycles=self.now,
-            traffic_bytes=self.memory.traffic.breakdown(),
-            compulsory_bytes=self.compulsory(),
-            flops=self.flops,
-            pe_busy_cycles=self.pe_busy,
-            num_tasks=self.num_tasks,
-            num_partial_fibers=self.num_partials,
-            cache_utilization=self.cache.average_utilization(),
-            config=self.config,
-            c_nnz=self.c_nnz(),
-            metrics=(self.metrics.to_blob()
-                     if self.metrics is not None else None),
-        )
+        return sum(self.output_len.values())
 
 
 def multiply(

@@ -88,6 +88,57 @@ class Task:
         return (self.row_order, -self.level, self.task_id)
 
 
+class LeafTask:
+    """Array-backed final leaf task for single-task work items.
+
+    Functionally identical to the one-leaf tree ``build_task_tree``
+    builds for a *simple* work item (``num_parts == 1`` and
+    ``nnz <= radix``) — same global task-id consumption, level 0, final
+    output — but keeps the item's B row ids and scaling factors as the
+    original numpy arrays instead of materializing one ``TaskInput``
+    per element. The batched simulator core gathers inputs for whole
+    epochs straight from these arrays; ``inputs`` materializes lazily
+    for the scalar execution path, which stays oblivious.
+    """
+
+    __slots__ = ("task_id", "row", "row_order", "b_coords", "b_scales",
+                 "_inputs")
+
+    level = 0
+    is_final = True
+    children: Tuple = ()
+
+    def __init__(self, task_id: int, row: int, b_coords, b_scales,
+                 row_order: int) -> None:
+        self.task_id = task_id
+        self.row = row
+        self.row_order = row_order
+        self.b_coords = b_coords
+        self.b_scales = b_scales
+        self._inputs = None
+
+    @property
+    def inputs(self) -> List[TaskInput]:
+        if self._inputs is None:
+            self._inputs = [
+                TaskInput("B", coord, scale)
+                for coord, scale in zip(self.b_coords.tolist(),
+                                        self.b_scales.tolist())
+            ]
+        return self._inputs
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.b_coords)
+
+    def priority_key(self) -> Tuple[int, int, int]:
+        return (self.row_order, 0, self.task_id)
+
+    def __repr__(self) -> str:
+        return (f"LeafTask(task_id={self.task_id}, row={self.row}, "
+                f"num_inputs={self.num_inputs})")
+
+
 def build_task_tree(
     row: int,
     b_rows: Sequence[int],

@@ -86,6 +86,12 @@ def default_config_for(model: str) -> Union[GammaConfig, CpuConfig]:
 class GammaModel:
     """The cycle-level Gamma simulator behind the registry interface.
 
+    Backed by the batched :class:`~repro.core.GammaSimulator` (the
+    data-oriented epoch core); ``gamma-ref`` selects the event-ordered
+    reference engine instead — both produce bit-identical records, so
+    the pair doubles as an end-to-end lockstep check (``--engine`` at
+    the CLI picks between them).
+
     ``collect_metrics=True`` attaches a fresh
     :class:`~repro.obs.MetricsRegistry` to the simulator and serializes
     it onto ``RunRecord.metrics`` (the ``repro profile`` path); ``trace``
@@ -93,13 +99,16 @@ class GammaModel:
     default so sweeps pay no instrumentation cost.
     """
 
+    def _simulator_class(self):
+        from repro.core import GammaSimulator
+        return GammaSimulator
+
     def run(self, a: CsrMatrix, b: CsrMatrix,
             config: Optional[GammaConfig] = None, *,
             matrix: str = "", variant: str = "none",
             multi_pe: bool = True, program=None,
             collect_metrics: bool = False, trace=None,
             **_ignored) -> RunRecord:
-        from repro.core import GammaSimulator
         from repro.preprocessing import preprocess
 
         config = config or scaled_gamma_config()
@@ -111,12 +120,35 @@ class GammaModel:
         if collect_metrics:
             from repro.obs import MetricsRegistry
             metrics = MetricsRegistry()
-        sim = GammaSimulator(config, multi_pe_scheduling=multi_pe,
-                             keep_output=False, trace=trace,
-                             metrics=metrics)
+        sim = self._simulator_class()(
+            config, multi_pe_scheduling=multi_pe,
+            keep_output=False, trace=trace, metrics=metrics)
         result = sim.run(a, b, program=program)
         return RunRecord.from_simulation(
-            result, matrix=matrix, variant=variant, multi_pe=multi_pe)
+            result, model=self.registry_name, matrix=matrix,
+            variant=variant, multi_pe=multi_pe)
+
+    registry_name = "gamma"
+
+
+@register_model("gamma-ref")
+class GammaReferenceModel(GammaModel):
+    """The event-ordered reference Gamma engine (``--engine ref``)."""
+
+    registry_name = "gamma-ref"
+
+    def _simulator_class(self):
+        from repro.core import ReferenceGammaSimulator
+        return ReferenceGammaSimulator
+
+
+#: Gamma engine selector: CLI ``--engine`` choice -> registry model name.
+GAMMA_ENGINES = {"batched": "gamma", "ref": "gamma-ref"}
+
+#: Models that are the cycle-level Gamma simulator (either engine); the
+#: sweep engine treats these alike for record keying, program caching,
+#: and c_nnz bootstrapping.
+GAMMA_MODELS = frozenset(GAMMA_ENGINES.values())
 
 
 # ----------------------------------------------------------------------

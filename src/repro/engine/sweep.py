@@ -81,7 +81,8 @@ from repro.engine.record import (
     _config_from_payload,
     _config_payload,
 )
-from repro.engine.registry import available_models, default_config_for, get_model
+from repro.engine.registry import (GAMMA_MODELS, available_models,
+                                   default_config_for, get_model)
 from repro.obs import spans
 
 #: Environment flag that tells workers to attach a MetricsRegistry to
@@ -119,7 +120,7 @@ class SweepPoint:
     def label(self) -> str:
         """Human-readable point name used in logs and failure reports."""
         text = f"{self.model}:{self.matrix}"
-        if self.model == "gamma":
+        if self.model in GAMMA_MODELS:
             text += f":{self.variant}"
         return text
 
@@ -131,10 +132,10 @@ def record_key(point: SweepPoint) -> str:
         "record",
         model=point.model,
         matrix=point.matrix,
-        variant=point.variant if point.model == "gamma" else "",
+        variant=point.variant if point.model in GAMMA_MODELS else "",
         config=dataclasses.asdict(config),
         config_kind=type(config).__name__,
-        multi_pe=point.multi_pe if point.model == "gamma" else True,
+        multi_pe=point.multi_pe if point.model in GAMMA_MODELS else True,
     )
 
 
@@ -357,7 +358,7 @@ def execute_point(point: SweepPoint,
     """
     if collect_metrics is None:
         collect_metrics = metrics_requested()
-    want_metrics = collect_metrics and point.model == "gamma"
+    want_metrics = collect_metrics and point.model in GAMMA_MODELS
     key = record_key(point)
     payload = diskcache.load(key)
     if payload is not None:
@@ -375,7 +376,7 @@ def execute_point(point: SweepPoint,
     a, b = suite.operands(point.matrix)
     config = point.resolved_config()
     model = get_model(point.model)
-    if point.model == "gamma":
+    if point.model in GAMMA_MODELS:
         program = cached_program(point.matrix, point.variant, config)
         record = model.run(
             a, b, config, matrix=point.matrix, variant=point.variant,
@@ -423,11 +424,11 @@ def plan_sweep(
     gamma_configs: Sequence[Optional[GammaConfig]] = configs or [None]
     for matrix in matrices:
         for model in models:
-            if model == "gamma":
+            if model in GAMMA_MODELS:
                 for config in gamma_configs:
                     for variant in variants:
                         points.append(SweepPoint(
-                            "gamma", matrix, variant, config, multi_pe))
+                            model, matrix, variant, config, multi_pe))
             else:
                 points.append(SweepPoint(model, matrix, ""))
     return points
@@ -593,7 +594,7 @@ def run_sweep(
     prerequisites = [
         p for p in dict.fromkeys(
             SweepPoint("gamma", q.matrix)
-            for q in pending if q.model != "gamma")
+            for q in pending if q.model not in GAMMA_MODELS)
         if p not in result.quarantined
     ]
 

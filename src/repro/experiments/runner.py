@@ -114,10 +114,11 @@ class ExperimentRunner:
     # -- baselines ------------------------------------------------------
     def baseline(self, model: str, name: str) -> RunRecord:
         """Run a named baseline model on a suite matrix (cached)."""
-        if model == "gamma" or model not in available_models():
+        from repro.engine.registry import GAMMA_MODELS
+        if model in GAMMA_MODELS or model not in available_models():
             raise ValueError(
                 f"unknown baseline model {model!r}; known: "
-                f"{[m for m in available_models() if m != 'gamma']}")
+                f"{[m for m in available_models() if m not in GAMMA_MODELS]}")
         return self.run_point(SweepPoint(model, name, ""))
 
     def speedup_over_mkl(self, name: str, runtime_seconds: float) -> float:

@@ -1,0 +1,191 @@
+"""Lockstep tests: the batched epoch simulator vs the reference engine.
+
+The data-oriented core (:class:`repro.core.GammaSimulator`) promises
+*bit-identical* behavior to the preserved event-ordered engine
+(:class:`repro.core.ReferenceGammaSimulator`): same output matrix down
+to the last float bit, same cycle count, same per-stream traffic
+breakdown, same task/flop/utilization accounting. This suite replays
+seeded random CSR pairs through both engines across every execution
+mode — {arithmetic, boolean, tropical} x {multi-PE on/off} x {detailed
+PE model on/off} — on the deliberately tiny ``SMALL_CONFIG`` system so
+evictions, partial spills, and multi-level task trees (the scalar-tail
+fallback) all trigger, and asserts exact equality of everything a
+:class:`~repro.core.result.SimulationResult` reports.
+
+Trace and metrics artifacts are pinned too: the per-task event stream
+must match field-for-field (after aligning the process-global task-id
+counter), and metrics-collecting runs — which the batched engine
+executes on the scalar path precisely so per-dispatch samples stay
+exact — must serialize identical blobs.
+
+The golden behavioral fingerprint (``tests/test_golden_fingerprint.py``)
+already runs through the batched core, so the pinned 16-point golden
+file doubles as a lockstep regression anchor; ``test_golden_modes_run``
+here re-checks a fingerprint mode pair explicitly for fast triage.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import GammaSimulator, ReferenceGammaSimulator
+from repro.core.trace import ExecutionTrace
+from repro.semiring import BOOLEAN, MAX_TIMES, TROPICAL_MIN
+from tests.test_differential import SMALL_CONFIG, random_pair
+
+QUICK_SEEDS = list(range(10))
+SEEDS = [
+    pytest.param(seed, marks=pytest.mark.slow) if seed >= len(QUICK_SEEDS)
+    else seed
+    for seed in range(24)
+]
+
+SEMIRINGS = (
+    ("arithmetic", None),
+    ("boolean", BOOLEAN),
+    ("tropical", TROPICAL_MIN),
+)
+
+
+def _reset_task_ids():
+    """Start both engines' task ids from the same counter value.
+
+    Task ids come from a process-global ``itertools.count``; two
+    back-to-back runs draw disjoint ranges, so artifacts that embed ids
+    (traces) need the counter aligned to compare exactly.
+    """
+    import repro.core.scheduler as scheduler_mod
+    import repro.core.tasks as tasks_mod
+
+    counter = itertools.count()
+    tasks_mod._task_ids = counter
+    scheduler_mod._task_ids = counter
+
+
+def config_for(detailed):
+    if not detailed:
+        return SMALL_CONFIG
+    import dataclasses
+    return dataclasses.replace(SMALL_CONFIG, detailed_pe_model=True)
+
+
+def assert_results_identical(reference, batched):
+    assert batched.cycles == reference.cycles
+    assert batched.traffic_bytes == reference.traffic_bytes
+    assert batched.compulsory_bytes == reference.compulsory_bytes
+    assert batched.flops == reference.flops
+    assert batched.c_nnz == reference.c_nnz
+    assert batched.num_tasks == reference.num_tasks
+    assert batched.num_partial_fibers == reference.num_partial_fibers
+    assert batched.pe_busy_cycles == reference.pe_busy_cycles
+    assert batched.cache_utilization == reference.cache_utilization
+    if reference.output is None:
+        assert batched.output is None
+    else:
+        # CsrMatrix equality is exact: identical structure and
+        # bit-identical float values (no tolerance).
+        assert batched.output == reference.output
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,semiring", SEMIRINGS,
+                         ids=[name for name, _ in SEMIRINGS])
+@pytest.mark.parametrize("multi_pe", (True, False),
+                         ids=("multipe", "singlepe"))
+def test_lockstep(seed, name, semiring, multi_pe):
+    a, b = random_pair(seed)
+    reference = ReferenceGammaSimulator(
+        SMALL_CONFIG, multi_pe_scheduling=multi_pe,
+        semiring=semiring).run(a, b)
+    batched = GammaSimulator(
+        SMALL_CONFIG, multi_pe_scheduling=multi_pe,
+        semiring=semiring).run(a, b)
+    assert_results_identical(reference, batched)
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS)
+@pytest.mark.parametrize("multi_pe", (True, False),
+                         ids=("multipe", "singlepe"))
+def test_lockstep_detailed_pe(seed, multi_pe):
+    """The element-accurate PE pipeline model, both scheduler modes."""
+    config = config_for(detailed=True)
+    a, b = random_pair(seed)
+    reference = ReferenceGammaSimulator(
+        config, multi_pe_scheduling=multi_pe).run(a, b)
+    batched = GammaSimulator(
+        config, multi_pe_scheduling=multi_pe).run(a, b)
+    assert_results_identical(reference, batched)
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:4])
+def test_lockstep_max_times_semiring(seed):
+    """A non-arithmetic semiring with a nonstandard multiply."""
+    a, b = random_pair(seed)
+    reference = ReferenceGammaSimulator(
+        SMALL_CONFIG, semiring=MAX_TIMES).run(a, b)
+    batched = GammaSimulator(SMALL_CONFIG, semiring=MAX_TIMES).run(a, b)
+    assert_results_identical(reference, batched)
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:4])
+def test_lockstep_keep_output_false(seed):
+    """Structure-only sweeps skip output values but keep exact traffic."""
+    a, b = random_pair(seed)
+    reference = ReferenceGammaSimulator(
+        SMALL_CONFIG, keep_output=False).run(a, b)
+    batched = GammaSimulator(SMALL_CONFIG, keep_output=False).run(a, b)
+    assert_results_identical(reference, batched)
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:4])
+def test_lockstep_trace(seed):
+    """The per-task event stream matches field-for-field."""
+    a, b = random_pair(seed)
+    traces = []
+    for cls in (ReferenceGammaSimulator, GammaSimulator):
+        trace = ExecutionTrace()
+        _reset_task_ids()
+        cls(SMALL_CONFIG, trace=trace).run(a, b)
+        traces.append([
+            (e.task_id, e.row, e.level, e.is_final, e.pe, e.start,
+             e.finish, e.busy_cycles, e.b_miss_lines,
+             e.partial_miss_lines)
+            for e in trace.events
+        ])
+    assert traces[0] == traces[1]
+    assert traces[0], "trace must not be empty"
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:2])
+def test_lockstep_metrics_blob(seed):
+    """Metric runs serialize identical blobs (scalar-path guarantee)."""
+    from repro.obs import MetricsRegistry
+
+    a, b = random_pair(seed)
+    blobs = []
+    for cls in (ReferenceGammaSimulator, GammaSimulator):
+        metrics = MetricsRegistry()
+        _reset_task_ids()
+        result = cls(SMALL_CONFIG, metrics=metrics).run(a, b)
+        blobs.append(result.metrics)
+    assert blobs[0] == blobs[1]
+
+
+def test_golden_modes_run():
+    """One fingerprint-space point per mode, both engines, exact match.
+
+    The pinned golden file in ``test_golden_fingerprint.py`` runs the
+    batched engine; this spot-check localizes a failure to the engine
+    pair instead of the golden diff.
+    """
+    from tests.test_golden_fingerprint import MODES
+
+    a, b = random_pair(7)
+    for _, semiring, multi_pe in MODES:
+        reference = ReferenceGammaSimulator(
+            SMALL_CONFIG, multi_pe_scheduling=multi_pe,
+            semiring=semiring).run(a, b)
+        batched = GammaSimulator(
+            SMALL_CONFIG, multi_pe_scheduling=multi_pe,
+            semiring=semiring).run(a, b)
+        assert_results_identical(reference, batched)
