@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Serving benchmark: the job server under seeded zipf load.
+
+Boots a :class:`repro.serve.JobServer` against a pristine temporary
+cache, replays a deterministic zipf-skewed schedule
+(:mod:`repro.serve.loadgen`) of hundreds of requests from dozens of
+simulated clients, and writes a schema-versioned JSON with:
+
+* request latency percentiles (p50/p90/p99) and served throughput;
+* L1/L2 hit rates and the coalescing/computed/hit outcome mix — the
+  acceptance bar is an aggregate reuse rate above 80% on the default
+  zipf mix (a few hot configurations, a long tail);
+* a serial baseline: each distinct spec timed once without the serving
+  tier, scaled by its request frequency — what the same traffic would
+  cost with no cache, no coalescing, one request at a time.
+
+The schedule is a pure function of the seed, so successive commits can
+be compared number-for-number (latency/throughput are measurements and
+move with the machine; the outcome mix is deterministic)::
+
+    PYTHONPATH=src python scripts/bench_serve.py --out BENCH_serve.json
+    PYTHONPATH=src python scripts/bench_serve.py --quick  # CI smoke
+
+``--http`` drives the same schedule over real sockets instead of the
+in-process API, including HTTP parse/serialize overhead in the
+latencies.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def serial_baseline(schedule) -> dict:
+    """Cost of the same traffic with no serving tier.
+
+    Times one clean serial execution per distinct spec, then scales by
+    how often the schedule requests it: ``sum(freq * wall)`` is the
+    naive no-cache, no-coalescing, one-at-a-time cost of the run.
+    """
+    from repro.engine.sweep import execute_point
+    from repro.serve import JobSpec
+
+    frequency: dict = {}
+    specs: dict = {}
+    for entry in schedule["requests"]:
+        spec = JobSpec.from_payload(entry["spec"])
+        key = spec.key()
+        specs[key] = spec
+        frequency[key] = frequency.get(key, 0) + 1
+    walls = {}
+    for key, spec in sorted(specs.items()):
+        start = time.perf_counter()
+        execute_point(spec.to_point())
+        walls[key] = time.perf_counter() - start
+    naive_total = sum(frequency[key] * walls[key] for key in walls)
+    return {
+        "distinct_specs": len(specs),
+        "compute_wall_seconds": sum(walls.values()),
+        "naive_total_seconds": naive_total,
+        "per_spec": [
+            {"spec": specs[key].to_payload(), "requests": frequency[key],
+             "wall_seconds": walls[key]}
+            for key in sorted(walls)
+        ],
+    }
+
+
+async def run_served(cold_schedule, steady_schedule, workers: int,
+                     use_http: bool) -> dict:
+    """Two phases against one server, like a service's life:
+
+    * **cold** — replay the first schedule against empty tiers: every
+      distinct spec costs one computation, duplicates coalesce;
+    * **steady** — clear L1 (a restart: L2 persists on disk, L1 does
+      not), then replay fresh traffic over the same population: the
+      first touch of each spec promotes from L2, the rest hit L1.
+
+    Hit rates are reported per phase; the acceptance bar applies to
+    the steady phase, which is what a long-running service serves.
+    """
+    from repro.serve import (
+        JobServer,
+        ServerConfig,
+        run_schedule,
+        run_schedule_http,
+        summarize_results,
+    )
+
+    server = JobServer(ServerConfig(
+        workers=workers, queue_depth=64, per_client_limit=64,
+        timeout_seconds=120.0, retry_after_seconds=0.05))
+    await server.start()
+    host = port = None
+    if use_http:
+        host, port = await server.start_http()
+
+    async def replay(schedule):
+        start = time.perf_counter()
+        if use_http:
+            results = await run_schedule_http(host, port, schedule,
+                                              time_scale=0.0)
+        else:
+            results = await run_schedule(server, schedule,
+                                         time_scale=0.0)
+        wall = time.perf_counter() - start
+        return results, wall
+
+    def snapshot():
+        payload = server.stats_payload()
+        return {**payload["stats"], **{
+            f"store_{k}": v for k, v in payload["store"].items()
+            if isinstance(v, int)}}
+
+    def delta(after, before):
+        return {k: after[k] - before.get(k, 0) for k in after}
+
+    def phase_report(results, wall, stats):
+        lookups = stats["store_l1_hits"] + stats["store_l1_misses"]
+        l2_lookups = stats["store_l2_hits"] + stats["store_l2_misses"]
+        hits = stats["store_l1_hits"] + stats["store_l2_hits"]
+        return {
+            "wall_seconds": wall,
+            "throughput_rps": len(results) / wall if wall else None,
+            "summary": summarize_results(results),
+            "stats": stats,
+            "l1_hit_rate":
+                stats["store_l1_hits"] / lookups if lookups else None,
+            "l2_hit_rate":
+                stats["store_l2_hits"] / l2_lookups
+                if l2_lookups else None,
+            "overall_hit_rate": hits / lookups if lookups else None,
+        }
+
+    base = snapshot()
+    cold_results, cold_wall = await replay(cold_schedule)
+    after_cold = snapshot()
+    server.store.l1.clear()  # the 'restart': L2 survives, L1 doesn't
+    steady_results, steady_wall = await replay(steady_schedule)
+    after_steady = snapshot()
+    server_stats = server.stats_payload()
+    await server.shutdown()
+    return {
+        "cold": phase_report(cold_results, cold_wall,
+                             delta(after_cold, base)),
+        "steady": phase_report(steady_results, steady_wall,
+                               delta(after_steady, after_cold)),
+        "server": server_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--clients", type=int, default=50)
+    parser.add_argument("--zipf", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 = inline)")
+    parser.add_argument("--http", action="store_true",
+                        help="drive the schedule over real sockets")
+    parser.add_argument("--quick", action="store_true",
+                        help="small run for CI smoke (not comparable)")
+    parser.add_argument("--skip-baseline", action="store_true",
+                        help="skip the serial-baseline timing pass")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.requests = min(args.requests, 60)
+        args.clients = min(args.clients, 12)
+        args.workers = 0
+
+    from repro.serve import build_schedule, schedule_stats
+
+    cold_schedule = build_schedule(
+        seed=args.seed, requests=args.requests, clients=args.clients,
+        zipf_s=args.zipf)
+    steady_schedule = build_schedule(
+        seed=args.seed + 1, requests=args.requests,
+        clients=args.clients, zipf_s=args.zipf)
+    report = {
+        "schema": SCHEMA_VERSION,
+        "label": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "params": cold_schedule["params"],
+        "schedule": {"cold": schedule_stats(cold_schedule),
+                     "steady": schedule_stats(steady_schedule)},
+        "workers": args.workers,
+        "transport": "http" if args.http else "in-process",
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        if not args.skip_baseline:
+            os.environ["REPRO_CACHE_DIR"] = str(Path(tmp) / "baseline")
+            print("serial baseline: computing distinct specs ...")
+            report["baseline"] = serial_baseline(cold_schedule)
+            print(f"  {report['baseline']['distinct_specs']} specs, "
+                  f"naive total "
+                  f"{report['baseline']['naive_total_seconds']:.2f}s")
+        os.environ["REPRO_CACHE_DIR"] = str(Path(tmp) / "served")
+        print(f"served run: 2 x {args.requests} requests, "
+              f"{args.clients} clients, workers={args.workers}, "
+              f"{report['transport']} ...")
+        report["served"] = asyncio.run(run_served(
+            cold_schedule, steady_schedule, args.workers, args.http))
+
+    served = report["served"]
+    cold, steady = served["cold"], served["steady"]
+    report["headline"] = {
+        "cold_computed": cold["stats"]["computed"],
+        "cold_coalesced": cold["stats"]["coalesced"],
+        "cold_wall_seconds": cold["wall_seconds"],
+        "steady_p50_ms": steady["summary"]["latency_ms"]["p50"],
+        "steady_p99_ms": steady["summary"]["latency_ms"]["p99"],
+        "steady_throughput_rps": steady["throughput_rps"],
+        "steady_l1_hit_rate": steady["l1_hit_rate"],
+        "steady_l2_hit_rate": steady["l2_hit_rate"],
+        "steady_overall_hit_rate": steady["overall_hit_rate"],
+    }
+    if not args.skip_baseline:
+        naive = report["baseline"]["naive_total_seconds"]
+        wall = cold["wall_seconds"] + steady["wall_seconds"]
+        report["headline"]["serial_naive_seconds"] = naive * 2
+        report["headline"]["speedup_vs_naive_serial"] = (
+            naive * 2 / wall if wall else None)
+
+    Path(args.out).write_text(json.dumps(report, indent=1,
+                                         sort_keys=True) + "\n")
+    head = report["headline"]
+    print(f"wrote {args.out}")
+    print(f"  cold: computed {head['cold_computed']}, coalesced "
+          f"{head['cold_coalesced']} in {head['cold_wall_seconds']:.2f}s")
+    print(f"  steady: p50 {head['steady_p50_ms']:.1f}ms  "
+          f"p99 {head['steady_p99_ms']:.1f}ms  "
+          f"throughput {head['steady_throughput_rps']:.0f} req/s  "
+          f"L1 {head['steady_l1_hit_rate']:.1%}  "
+          f"overall hit rate {head['steady_overall_hit_rate']:.1%}")
+    if "speedup_vs_naive_serial" in head:
+        print(f"  vs naive serial traffic: "
+              f"{head['serial_naive_seconds']:.2f}s equivalent "
+              f"({head['speedup_vs_naive_serial']:.1f}x)")
+    if (head["steady_overall_hit_rate"] is not None
+            and head["steady_overall_hit_rate"] < 0.8):
+        print("WARNING: steady-state hit rate below the 80% "
+              "acceptance bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ Usage::
     python -m repro profile gamma wiki-Vote            # cycle-level report
     python -m repro profile gamma gupta2 --variant full --trace out.jsonl
     python -m repro profile gamma gupta2 --perfetto out.trace.json
+    python -m repro serve --port 8077 --workers 4      # SpGEMM job API
 """
 
 from __future__ import annotations
@@ -271,6 +272,33 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServerConfig, run_service
+
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth,
+        per_client_limit=args.per_client_limit,
+        timeout_seconds=args.timeout,
+        l1_capacity=args.l1_capacity,
+        drain_seconds=args.drain_seconds,
+        checkpoint_tag=args.checkpoint_tag)
+    if args.trace_dir:
+        from repro.obs import report, spans
+        spans.enable(report.span_directory(args.trace_dir))
+    try:
+        asyncio.run(run_service(config))
+    except KeyboardInterrupt:
+        pass  # run_service's finally already drained and checkpointed
+    finally:
+        if args.trace_dir:
+            from repro.obs import spans
+            spans.disable()
+    return 0
+
+
 def _cmd_suite() -> int:
     from repro.experiments import run_experiment
 
@@ -380,6 +408,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="Gamma simulator core: data-oriented epoch engine "
              "(default) or the event-ordered reference")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the SpGEMM job API (POST /jobs, GET /jobs/<id>)")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8077,
+        help="listen port (0 = ephemeral; default: 8077)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes; 0 runs jobs inline without kill-based "
+             "timeouts (default: 2)")
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="max distinct in-flight executions before 503 (default: 64)")
+    serve_parser.add_argument(
+        "--per-client-limit", type=int, default=16,
+        help="max unfinished jobs per client before 429 (default: 16)")
+    serve_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="kill and retry any job exceeding this wall clock "
+             "(default: 60)")
+    serve_parser.add_argument(
+        "--l1-capacity", type=int, default=256,
+        help="in-process LRU result entries (default: 256)")
+    serve_parser.add_argument(
+        "--drain-seconds", type=float, default=30.0,
+        help="graceful-shutdown budget for in-flight jobs (default: 30)")
+    serve_parser.add_argument(
+        "--checkpoint-tag", default="default",
+        help="queue-checkpoint name; a restart with the same tag "
+             "resumes interrupted jobs (default: 'default')")
+    serve_parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="record serve/store span telemetry into DIR")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -395,6 +459,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

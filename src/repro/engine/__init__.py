@@ -36,12 +36,14 @@ from repro.engine.registry import (
 )
 from repro.engine.sweep import (
     DEFAULT_MODELS,
+    DEFAULT_SEMIRING,
     DEFAULT_VARIANTS,
     PointFailure,
     SweepPoint,
     SweepPointError,
     SweepPolicy,
     SweepResult,
+    WorkerSlot,
     clear_checkpoint,
     execute_point,
     load_checkpoint,
@@ -49,10 +51,12 @@ from repro.engine.sweep import (
     plan_sweep,
     record_key,
     run_sweep,
+    worker_loop,
 )
 
 __all__ = [
     "DEFAULT_MODELS",
+    "DEFAULT_SEMIRING",
     "DEFAULT_VARIANTS",
     "PointFailure",
     "SweepPointError",
@@ -67,6 +71,8 @@ __all__ = [
     "SCALED_FIBERCACHE_BYTES",
     "SweepPoint",
     "TILE_THRESHOLD_BYTES",
+    "WorkerSlot",
+    "worker_loop",
     "available_models",
     "default_config_for",
     "derive_c_nnz",

@@ -66,7 +66,10 @@ class FaultSpec:
                          point succeeds once its trigger budget is spent;
             ``corrupt_cache`` — evaluate normally, then truncate the
                          point's freshly written disk-cache entry.
-        model / matrix: Point labels to match (exact).
+        model / matrix: Point labels to match (exact, or ``"*"`` to
+            match any — live-load chaos drives a zipf mix of many
+            points and wants faults that hit whichever job a worker
+            picks up next).
         variant: Optional variant match; None matches any variant.
         times: How many attempts trigger the fault before it disarms.
         hang_seconds: Sleep length for ``hang``.
@@ -85,7 +88,8 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
 
     def matches(self, model: str, matrix: str, variant: str) -> bool:
-        return (self.model == model and self.matrix == matrix
+        return (self.model in ("*", model)
+                and self.matrix in ("*", matrix)
                 and (self.variant is None or self.variant == variant))
 
 

@@ -107,6 +107,7 @@ class GammaModel:
             config: Optional[GammaConfig] = None, *,
             matrix: str = "", variant: str = "none",
             multi_pe: bool = True, program=None,
+            semiring="arithmetic",
             collect_metrics: bool = False, trace=None,
             **_ignored) -> RunRecord:
         from repro.preprocessing import preprocess
@@ -120,8 +121,18 @@ class GammaModel:
         if collect_metrics:
             from repro.obs import MetricsRegistry
             metrics = MetricsRegistry()
+        # 'arithmetic' maps to None (the simulator's default) so the
+        # serving tier's semiring parameter changes nothing for the
+        # sweep/figure paths that never set it.
+        semiring_obj = semiring
+        if isinstance(semiring, str):
+            if semiring == "arithmetic":
+                semiring_obj = None
+            else:
+                from repro.semiring import by_name
+                semiring_obj = by_name(semiring)
         sim = self._simulator_class()(
-            config, multi_pe_scheduling=multi_pe,
+            config, multi_pe_scheduling=multi_pe, semiring=semiring_obj,
             keep_output=False, trace=trace, metrics=metrics)
         result = sim.run(a, b, program=program)
         return RunRecord.from_simulation(

@@ -99,13 +99,21 @@ DEFAULT_MODELS = ("gamma", "ip", "outerspace", "sparch", "mkl")
 DEFAULT_VARIANTS = ("none", "full")
 
 
+#: The semiring every sweep/figure point runs under; non-default
+#: semirings are a serving-tier feature and key their cache entries
+#: separately (see :func:`record_key`).
+DEFAULT_SEMIRING = "arithmetic"
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One (model, matrix, variant, config) evaluation to perform.
 
     ``config=None`` means the model's scaled experiment default; carrying
     the resolved config explicitly would bloat keys without changing
-    results. ``variant`` and ``multi_pe`` only affect Gamma.
+    results. ``variant``, ``multi_pe``, and ``semiring`` only affect
+    Gamma; ``semiring`` names a :data:`repro.semiring.STANDARD_SEMIRINGS`
+    entry (the job server exposes it — sweeps always run the default).
     """
 
     model: str
@@ -113,6 +121,7 @@ class SweepPoint:
     variant: str = "none"
     config: Union[GammaConfig, CpuConfig, None] = None
     multi_pe: bool = True
+    semiring: str = DEFAULT_SEMIRING
 
     def resolved_config(self) -> Union[GammaConfig, CpuConfig]:
         return self.config or default_config_for(self.model)
@@ -122,14 +131,20 @@ class SweepPoint:
         text = f"{self.model}:{self.matrix}"
         if self.model in GAMMA_MODELS:
             text += f":{self.variant}"
+            if self.semiring != DEFAULT_SEMIRING:
+                text += f":{self.semiring}"
         return text
 
 
 def record_key(point: SweepPoint) -> str:
-    """The disk-cache key of a point's :class:`RunRecord`."""
+    """The disk-cache key of a point's :class:`RunRecord`.
+
+    The semiring participates only when it is not the default, so every
+    pre-existing cache entry (all keyed before the field existed) stays
+    addressable.
+    """
     config = point.resolved_config()
-    return diskcache.cache_key(
-        "record",
+    params = dict(
         model=point.model,
         matrix=point.matrix,
         variant=point.variant if point.model in GAMMA_MODELS else "",
@@ -137,6 +152,9 @@ def record_key(point: SweepPoint) -> str:
         config_kind=type(config).__name__,
         multi_pe=point.multi_pe if point.model in GAMMA_MODELS else True,
     )
+    if point.model in GAMMA_MODELS and point.semiring != DEFAULT_SEMIRING:
+        params["semiring"] = point.semiring
+    return diskcache.cache_key("record", **params)
 
 
 def point_to_payload(point: SweepPoint) -> Dict:
@@ -147,6 +165,7 @@ def point_to_payload(point: SweepPoint) -> Dict:
         "variant": point.variant,
         "config": _config_payload(point.config),
         "multi_pe": point.multi_pe,
+        "semiring": point.semiring,
     }
 
 
@@ -157,6 +176,7 @@ def point_from_payload(payload: Dict) -> SweepPoint:
         variant=payload.get("variant", "none"),
         config=_config_from_payload(payload.get("config")),
         multi_pe=payload.get("multi_pe", True),
+        semiring=payload.get("semiring", DEFAULT_SEMIRING),
     )
 
 
@@ -381,6 +401,7 @@ def execute_point(point: SweepPoint,
         record = model.run(
             a, b, config, matrix=point.matrix, variant=point.variant,
             multi_pe=point.multi_pe, program=program,
+            semiring=point.semiring,
             collect_metrics=want_metrics)
     else:
         c_nnz = execute_point(SweepPoint("gamma", point.matrix)).c_nnz
@@ -729,7 +750,7 @@ def _execute_with_retries(
 # ----------------------------------------------------------------------
 # Parallel executor: worker slots with kill-based cancellation
 # ----------------------------------------------------------------------
-def _worker_loop(conn) -> None:
+def worker_loop(conn) -> None:
     """Worker process body: evaluate points until the parent hangs up.
 
     Every outcome — success payload or exception detail — travels back
@@ -757,8 +778,15 @@ def _worker_loop(conn) -> None:
                 return
 
 
-class _Slot:
-    """One worker process + pipe, respawned after kills and crashes."""
+class WorkerSlot:
+    """One worker process + pipe, respawned after kills and crashes.
+
+    Public because the sweep executor and the job server
+    (:mod:`repro.serve.server`) share it: both need per-point
+    kill-based cancellation — the only reliable way to stop a hung
+    or wedged native call — with the slot immediately respawned for
+    the next assignment.
+    """
 
     def __init__(self, ctx, index: int = 0) -> None:
         self._ctx = ctx
@@ -772,7 +800,7 @@ class _Slot:
     def _spawn(self) -> None:
         self.conn, child_conn = multiprocessing.Pipe()
         self.process = self._ctx.Process(
-            target=_worker_loop, args=(child_conn,), daemon=True)
+            target=worker_loop, args=(child_conn,), daemon=True)
         # The slot index rides to the child through the environment
         # (fork and spawn contexts both inherit it at start()); the
         # worker's span recorder labels its lane with it. Harmless when
@@ -839,7 +867,7 @@ def _run_batch_parallel(
     if not batch:
         return
     ctx = multiprocessing.get_context()
-    slots = [_Slot(ctx, index)
+    slots = [WorkerSlot(ctx, index)
              for index in range(min(workers, len(batch)))]
     # (ready_at, sequence, attempt, point): a heap so backoff delays and
     # fresh points interleave correctly; sequence breaks ties FIFO.

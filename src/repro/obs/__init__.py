@@ -41,6 +41,7 @@ from repro.obs.rollup import (
     ROLLUP_SCHEMA_VERSION,
     execution_rollup,
     rollup as sweep_rollup,
+    serve_rollup,
 )
 from repro.obs.report import (
     REPORT_SCHEMA_VERSION,
@@ -80,6 +81,7 @@ __all__ = [
     "profile_point",
     "read_jsonl",
     "render_report",
+    "serve_rollup",
     "sweep_rollup",
     "validate_chrome_trace",
     "validate_file",

@@ -226,6 +226,47 @@ def slot_utilization(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     ]
 
 
+def serve_rollup(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Service-side roll-up from merged span events.
+
+    Folds the job server's span stream (``serve/*`` job/execution spans
+    and admission instants, ``store/*`` tier outcomes, plus the engine's
+    ``point/execute`` compute spans) into the serving scorecard: jobs by
+    outcome, hit rates per tier, and the coalescing proof — ``jobs
+    accepted - coalesced == executions``, and every real simulation
+    shows up as exactly one ``point/execute`` span, so K duplicate
+    submissions costing one execution is visible as a count equality,
+    not an inference.
+    """
+    counts: Dict[str, int] = {}
+    for event in events:
+        name = event.get("name", "")
+        if name.startswith(("serve/", "store/", "point/", "fault/")):
+            counts[name] = counts.get(name, 0) + 1
+    l1_hits = counts.get("store/l1_hit", 0)
+    l1_misses = counts.get("store/l1_miss", 0)
+    l2_hits = counts.get("store/l2_hit", 0)
+    l2_misses = counts.get("store/l2_miss", 0)
+    lookups = l1_hits + l1_misses
+    return {
+        "event_counts": {name: counts[name] for name in sorted(counts)},
+        "jobs": counts.get("serve/job", 0),
+        "executions": counts.get("serve/execute", 0),
+        "points_computed": counts.get("point/execute", 0),
+        "coalesced_joins": counts.get("serve/coalesced", 0),
+        "store_hits": counts.get("serve/hit", 0),
+        "rejects_429": counts.get("serve/reject_429", 0),
+        "rejects_503": counts.get("serve/reject_503", 0),
+        "timeout_kills": counts.get("serve/timeout_kill", 0),
+        "faults_injected": counts.get("fault/injected", 0),
+        "l1_hit_rate": l1_hits / lookups if lookups else None,
+        "l2_hit_rate": (l2_hits / (l2_hits + l2_misses)
+                        if (l2_hits + l2_misses) else None),
+        "overall_hit_rate": ((l1_hits + l2_hits) / lookups
+                             if lookups else None),
+    }
+
+
 def execution_rollup(result,
                      events: Optional[List[Dict[str, Any]]] = None,
                      ) -> Dict[str, Any]:

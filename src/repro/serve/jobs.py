@@ -1,0 +1,233 @@
+"""Job model for the SpGEMM service: specs, validation, lifecycle.
+
+A *job spec* is the client-facing request body — matrix, model,
+preprocessing variant, semiring, optional config overrides — and maps
+1:1 onto a :class:`~repro.engine.sweep.SweepPoint`, which is what ties
+the service to everything the engine already guarantees: the point's
+:func:`~repro.engine.sweep.record_key` is simultaneously the L1/L2
+store key, the coalescing key, and the disk-cache key sweeps use, so a
+result computed by a sweep is served by the API and vice versa.
+
+A :class:`Job` is one accepted request's lifecycle. Responses are
+always built from a complete, atomically swapped payload — a client
+polling ``GET /jobs/<id>`` can observe an old state or a new state,
+never a torn mixture (the chaos suite pins this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.config import CpuConfig, GammaConfig
+from repro.engine.registry import GAMMA_MODELS, available_models
+from repro.engine.sweep import DEFAULT_SEMIRING, SweepPoint, record_key
+
+#: Job lifecycle states. ``queued`` covers admission through waiting for
+#: a worker; ``running`` an execution in flight; ``done``/``error`` are
+#: terminal. A coalesced follower mirrors its leader's execution.
+JOB_STATES = ("queued", "running", "done", "error")
+
+
+class JobValidationError(ValueError):
+    """A request body that cannot become a runnable job (HTTP 400)."""
+
+
+def _validate_config_overrides(model: str,
+                               overrides: Dict[str, Any]):
+    """Build the point config from client-supplied field overrides."""
+    from repro.engine.registry import default_config_for
+
+    if not isinstance(overrides, dict):
+        raise JobValidationError("'config' must be an object")
+    base = default_config_for(model)
+    known = {f.name for f in dataclasses.fields(base)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise JobValidationError(
+            f"unknown config field(s) {unknown}; "
+            f"{type(base).__name__} has: {sorted(known)}")
+    for name, value in overrides.items():
+        if not isinstance(value, (int, float, bool)):
+            raise JobValidationError(
+                f"config field {name!r} must be numeric")
+    try:
+        return dataclasses.replace(base, **overrides)
+    except (TypeError, ValueError) as exc:
+        raise JobValidationError(f"invalid config: {exc}") from None
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Validated request parameters; converts to a sweep point."""
+
+    matrix: str
+    model: str = "gamma"
+    variant: str = "none"
+    semiring: str = DEFAULT_SEMIRING
+    multi_pe: bool = True
+    config: Any = None  # GammaConfig | CpuConfig | None
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Parse and validate a request body; raises
+        :class:`JobValidationError` with a client-actionable message."""
+        from repro.engine.defaults import PREPROCESS_VARIANTS
+        from repro.matrices import suite
+        from repro.semiring import STANDARD_SEMIRINGS
+
+        if not isinstance(payload, dict):
+            raise JobValidationError("request body must be a JSON object")
+        allowed = {"matrix", "model", "variant", "semiring",
+                   "multi_pe", "config"}
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise JobValidationError(
+                f"unknown field(s) {unknown}; allowed: {sorted(allowed)}")
+        matrix = payload.get("matrix")
+        if not isinstance(matrix, str) or not matrix:
+            raise JobValidationError("'matrix' (suite name) is required")
+        try:
+            suite.spec_by_name(matrix)
+        except KeyError as exc:
+            raise JobValidationError(str(exc.args[0])) from None
+        model = payload.get("model", "gamma")
+        if model not in available_models():
+            raise JobValidationError(
+                f"unknown model {model!r}; known: {available_models()}")
+        variant = payload.get("variant", "none")
+        semiring = payload.get("semiring", DEFAULT_SEMIRING)
+        multi_pe = payload.get("multi_pe", True)
+        if not isinstance(multi_pe, bool):
+            raise JobValidationError("'multi_pe' must be a boolean")
+        if model in GAMMA_MODELS:
+            if variant not in PREPROCESS_VARIANTS:
+                raise JobValidationError(
+                    f"unknown preprocessing variant {variant!r}; "
+                    f"known: {PREPROCESS_VARIANTS}")
+            if semiring not in STANDARD_SEMIRINGS:
+                raise JobValidationError(
+                    f"unknown semiring {semiring!r}; "
+                    f"known: {sorted(STANDARD_SEMIRINGS)}")
+        else:
+            if variant not in ("none", ""):
+                raise JobValidationError(
+                    f"model {model!r} takes no preprocessing variant")
+            if semiring != DEFAULT_SEMIRING:
+                raise JobValidationError(
+                    f"model {model!r} only serves the "
+                    f"{DEFAULT_SEMIRING!r} semiring")
+            variant = ""
+        config = None
+        if payload.get("config") is not None:
+            config = _validate_config_overrides(model, payload["config"])
+        return cls(matrix=matrix, model=model, variant=variant,
+                   semiring=semiring, multi_pe=multi_pe, config=config)
+
+    def to_point(self) -> SweepPoint:
+        return SweepPoint(
+            model=self.model, matrix=self.matrix,
+            variant=self.variant if self.model in GAMMA_MODELS else "",
+            config=self.config, multi_pe=self.multi_pe,
+            semiring=self.semiring)
+
+    def key(self) -> str:
+        """The store/coalescing/disk-cache key of this spec's result."""
+        return record_key(self.to_point())
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "matrix": self.matrix,
+            "model": self.model,
+            "variant": self.variant,
+            "semiring": self.semiring,
+            "multi_pe": self.multi_pe,
+        }
+        if self.config is not None:
+            kind = ("cpu" if isinstance(self.config, CpuConfig)
+                    else "gamma")
+            payload["config"] = {"kind": kind,
+                                 **dataclasses.asdict(self.config)}
+        return payload
+
+    @classmethod
+    def from_checkpoint(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_payload` output (queue
+        checkpoint restore); trusts the payload (it was validated once
+        at submission)."""
+        config = None
+        if payload.get("config") is not None:
+            params = dict(payload["config"])
+            kind = params.pop("kind", "gamma")
+            config = (CpuConfig if kind == "cpu" else GammaConfig)(**params)
+        return cls(matrix=payload["matrix"], model=payload["model"],
+                   variant=payload["variant"],
+                   semiring=payload.get("semiring", DEFAULT_SEMIRING),
+                   multi_pe=payload.get("multi_pe", True),
+                   config=config)
+
+
+@dataclass
+class Job:
+    """One accepted request and its (eventual) outcome."""
+
+    id: str
+    spec: JobSpec
+    client: str
+    state: str = "queued"
+    source: Optional[str] = None  # 'l1' | 'l2' | 'computed' | 'coalesced'
+    attempts: int = 0
+    result: Optional[Dict[str, Any]] = None
+    fingerprint: Optional[str] = None
+    error: Optional[Dict[str, Any]] = None
+    created_ts: float = field(default_factory=time.time)
+    finished_ts: Optional[float] = None
+
+    def finish_ok(self, result: Dict[str, Any], source: str,
+                  attempts: int = 0) -> None:
+        from repro.engine.record import RunRecord
+
+        self.result = result
+        self.fingerprint = RunRecord.from_payload(result).fingerprint()
+        self.source = source
+        self.attempts = attempts
+        self.state = "done"
+        self.finished_ts = time.time()
+
+    def finish_error(self, reason: str, message: str,
+                     attempts: int = 0) -> None:
+        self.error = {"reason": reason, "message": message}
+        self.attempts = attempts
+        self.state = "error"
+        self.finished_ts = time.time()
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The complete, self-consistent response body for this job.
+
+        Built fresh from the job's current fields in one pass — the
+        HTTP layer serializes the returned dict immediately, so a
+        response reflects exactly one state, never a torn mixture.
+        """
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "client": self.client,
+            "spec": self.spec.to_payload(),
+            "key": self.spec.key(),
+            "source": self.source,
+            "attempts": self.attempts,
+            "created_ts": self.created_ts,
+            "finished_ts": self.finished_ts,
+        }
+        if self.state == "done":
+            payload["result"] = self.result
+            payload["fingerprint"] = self.fingerprint
+        elif self.state == "error":
+            payload["error"] = self.error
+        return payload
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "error")

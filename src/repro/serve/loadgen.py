@@ -1,0 +1,293 @@
+"""Deterministic load generation for the job server.
+
+The load tests and the serving benchmark need *thousands* of simulated
+clients whose traffic is reproducible down to the request: the schedule
+— who asks for what, when — is a pure function of a seed, built from a
+single ``random.Random`` stream and expressible as JSON (the golden
+file ``tests/golden/loadgen_schedule.json`` pins it byte-for-byte).
+
+Request popularity is zipf-skewed: spec ranked ``r`` (0-based) in the
+population is drawn with weight ``1 / (r + 1) ** s``. That mirrors real
+result-serving workloads (a few hot configurations, a long tail) and is
+what makes the tiered store earn its keep — the acceptance bar is an
+L1+L2 hit rate above 80% on the default mix.
+
+Running a schedule is separate from building it. Two drivers share the
+same per-request loop (submit, honor 429/503 ``Retry-After``, await the
+terminal job state):
+
+* :func:`run_schedule` — in-process, straight into
+  :meth:`~repro.serve.server.JobServer.submit`; no sockets, so chaos
+  tests can assert exact determinism of everything except wall time.
+* :func:`run_schedule_http` — over real sockets against a listening
+  server, used by the CLI smoke test and the benchmark.
+
+Only the *schedule* and the aggregate outcome (statuses, sources) are
+deterministic; latency numbers are measurements and are reported
+separately so tests never assert on them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Schedule schema version (bump when the JSON shape changes).
+SCHEDULE_SCHEMA = 1
+
+#: Default population axes (all gamma variants on the two fastest
+#: suite matrices, plus the two baselines) — small enough that a CI
+#: smoke run computes every distinct point at least once, skewed
+#: enough that coalescing and both cache tiers all see traffic.
+DEFAULT_MATRICES = ("wiki-Vote", "poisson3Da")
+DEFAULT_MODELS = ("gamma", "mkl", "outerspace")
+DEFAULT_VARIANTS = ("none", "reorder", "full")
+DEFAULT_SEMIRINGS = ("arithmetic", "boolean")
+
+
+def build_population(matrices: Sequence[str] = DEFAULT_MATRICES,
+                     models: Sequence[str] = DEFAULT_MODELS,
+                     variants: Sequence[str] = DEFAULT_VARIANTS,
+                     semirings: Sequence[str] = DEFAULT_SEMIRINGS,
+                     ) -> List[Dict[str, Any]]:
+    """The ranked spec population (rank 0 = most popular under zipf).
+
+    Gamma models cross matrices x variants x semirings; baseline models
+    contribute one spec per matrix (they take no variant/semiring).
+    """
+    population: List[Dict[str, Any]] = []
+    for matrix in matrices:
+        for model in models:
+            if model in ("gamma", "gamma-ideal"):
+                for variant in variants:
+                    for semiring in semirings:
+                        population.append({
+                            "matrix": matrix, "model": model,
+                            "variant": variant, "semiring": semiring,
+                        })
+            else:
+                population.append({"matrix": matrix, "model": model})
+    return population
+
+
+def build_schedule(seed: int = 0,
+                   requests: int = 200,
+                   clients: int = 20,
+                   zipf_s: float = 1.2,
+                   mean_gap_ms: float = 5.0,
+                   matrices: Sequence[str] = DEFAULT_MATRICES,
+                   models: Sequence[str] = DEFAULT_MODELS,
+                   variants: Sequence[str] = DEFAULT_VARIANTS,
+                   semirings: Sequence[str] = DEFAULT_SEMIRINGS,
+                   ) -> Dict[str, Any]:
+    """A reproducible request schedule: pure function of the arguments.
+
+    Each request carries an issue offset ``at_ms`` (exponential
+    inter-arrivals of mean ``mean_gap_ms``, rounded to microseconds so
+    the JSON round-trips exactly), a client id, and a job-spec payload
+    drawn zipf-skewed from the population.
+    """
+    rng = random.Random(seed)
+    population = build_population(matrices, models, variants, semirings)
+    weights = [1.0 / (rank + 1) ** zipf_s
+               for rank in range(len(population))]
+    at_ms = 0.0
+    entries: List[Dict[str, Any]] = []
+    for index in range(requests):
+        at_ms += rng.expovariate(1.0 / mean_gap_ms) if mean_gap_ms else 0.0
+        spec = rng.choices(population, weights=weights, k=1)[0]
+        entries.append({
+            "i": index,
+            "client": f"c{rng.randrange(clients):04d}",
+            "at_ms": round(at_ms, 3),
+            "spec": dict(spec),
+        })
+    return {
+        "schema": SCHEDULE_SCHEMA,
+        "params": {
+            "seed": seed, "requests": requests, "clients": clients,
+            "zipf_s": zipf_s, "mean_gap_ms": mean_gap_ms,
+            "matrices": list(matrices), "models": list(models),
+            "variants": list(variants), "semirings": list(semirings),
+        },
+        "requests": entries,
+    }
+
+
+def schedule_stats(schedule: Dict[str, Any]) -> Dict[str, Any]:
+    """Deterministic shape metrics of a schedule (no execution).
+
+    ``distinct_specs`` bounds the number of real simulations a server
+    run can possibly need; ``top_spec_share`` shows the zipf skew the
+    cache tiers exploit.
+    """
+    entries = schedule["requests"]
+    by_spec: Dict[str, int] = {}
+    by_client: Dict[str, int] = {}
+    for entry in entries:
+        spec_key = repr(sorted(entry["spec"].items()))
+        by_spec[spec_key] = by_spec.get(spec_key, 0) + 1
+        by_client[entry["client"]] = by_client.get(entry["client"], 0) + 1
+    total = len(entries)
+    top = max(by_spec.values()) if by_spec else 0
+    return {
+        "requests": total,
+        "distinct_specs": len(by_spec),
+        "distinct_clients": len(by_client),
+        "top_spec_share": top / total if total else 0.0,
+        "max_client_requests": max(by_client.values()) if by_client else 0,
+        "duration_ms": entries[-1]["at_ms"] if entries else 0.0,
+    }
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile; None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def summarize_results(results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate per-request outcomes into the report the tests and the
+    benchmark consume. Everything except the ``latency_ms`` block is
+    deterministic for a deterministic server run."""
+    statuses: Dict[str, int] = {}
+    sources: Dict[str, int] = {}
+    states: Dict[str, int] = {}
+    latencies: List[float] = []
+    resubmits = 0
+    for result in results:
+        status = str(result["status"])
+        statuses[status] = statuses.get(status, 0) + 1
+        if result.get("source"):
+            sources[result["source"]] = sources.get(result["source"], 0) + 1
+        if result.get("state"):
+            states[result["state"]] = states.get(result["state"], 0) + 1
+        if result.get("latency_ms") is not None:
+            latencies.append(result["latency_ms"])
+        resubmits += result.get("resubmits", 0)
+    return {
+        "requests": len(results),
+        "statuses": dict(sorted(statuses.items())),
+        "states": dict(sorted(states.items())),
+        "sources": dict(sorted(sources.items())),
+        "resubmits": resubmits,
+        "latency_ms": {
+            "p50": _percentile(latencies, 0.50),
+            "p90": _percentile(latencies, 0.90),
+            "p99": _percentile(latencies, 0.99),
+            "max": max(latencies) if latencies else None,
+        },
+    }
+
+
+async def _drive_one(submit, entry: Dict[str, Any],
+                     max_attempts: int, time_scale: float,
+                     job_timeout: float) -> Dict[str, Any]:
+    """Submit one scheduled request until accepted (honoring
+    ``Retry-After``) and await its terminal payload."""
+    started = time.perf_counter()
+    resubmits = 0
+    status, payload = 0, None
+    for attempt in range(max_attempts):
+        status, payload, retry_after = await submit(entry)
+        if status not in (429, 503):
+            break
+        resubmits += 1
+        if attempt + 1 < max_attempts:
+            await asyncio.sleep(max(retry_after, 0.001) * time_scale
+                                if time_scale else 0.001)
+    latency_ms = (time.perf_counter() - started) * 1000.0
+    result: Dict[str, Any] = {
+        "i": entry["i"], "client": entry["client"], "status": status,
+        "latency_ms": latency_ms, "resubmits": resubmits,
+    }
+    if isinstance(payload, dict) and "state" in payload:
+        result["state"] = payload["state"]
+        result["source"] = payload.get("source")
+        result["key"] = payload.get("key")
+        if payload.get("fingerprint") is not None:
+            result["fingerprint"] = payload["fingerprint"]
+        if payload.get("error") is not None:
+            result["error"] = payload["error"]
+    elif isinstance(payload, dict) and "error" in payload:
+        result["error"] = payload["error"]
+    return result
+
+
+async def _run(schedule: Dict[str, Any], submit,
+               time_scale: float, max_attempts: int,
+               job_timeout: float) -> List[Dict[str, Any]]:
+    """Shared driver: replay the schedule's arrival process (scaled)
+    and run every request concurrently from its issue instant."""
+    origin = time.perf_counter()
+    tasks = []
+    for entry in schedule["requests"]:
+        if time_scale:
+            delay = entry["at_ms"] / 1000.0 * time_scale
+            elapsed = time.perf_counter() - origin
+            if delay > elapsed:
+                await asyncio.sleep(delay - elapsed)
+        tasks.append(asyncio.ensure_future(_drive_one(
+            submit, entry, max_attempts, time_scale, job_timeout)))
+    return list(await asyncio.gather(*tasks))
+
+
+async def run_schedule(server, schedule: Dict[str, Any],
+                       time_scale: float = 0.0,
+                       max_attempts: int = 8,
+                       job_timeout: float = 300.0,
+                       ) -> List[Dict[str, Any]]:
+    """Replay a schedule straight into an in-process
+    :class:`~repro.serve.server.JobServer` (no sockets).
+
+    ``time_scale`` scales the schedule's arrival offsets (0 = issue as
+    fast as admission allows — the chaos tests' mode, maximizing
+    coalescing pressure).
+    """
+
+    async def submit(entry):
+        status, payload = await server.submit_and_wait(
+            entry["spec"], client=entry["client"], timeout=job_timeout)
+        retry_after = server.config.retry_after_seconds
+        return status, payload, retry_after
+
+    return await _run(schedule, submit, time_scale, max_attempts,
+                      job_timeout)
+
+
+async def run_schedule_http(host: str, port: int,
+                            schedule: Dict[str, Any],
+                            time_scale: float = 1.0,
+                            max_attempts: int = 8,
+                            job_timeout: float = 300.0,
+                            ) -> List[Dict[str, Any]]:
+    """Replay a schedule over HTTP against a listening server."""
+    from repro.serve.server import http_request
+
+    async def submit(entry):
+        status, headers, payload = await http_request(
+            host, port, "POST", "/jobs", payload=entry["spec"],
+            headers={"X-Client-Id": entry["client"]})
+        retry_after = float(headers.get("retry-after", 0.5) or 0.5)
+        if status == 202 and isinstance(payload, dict):
+            deadline = time.perf_counter() + job_timeout
+            while time.perf_counter() < deadline:
+                status2, _, payload2 = await http_request(
+                    host, port, "GET",
+                    f"/jobs/{payload['id']}?wait=30")
+                if status2 != 200:
+                    break
+                payload = payload2
+                if payload.get("state") in ("done", "error"):
+                    break
+            status = 200 if isinstance(payload, dict) \
+                and payload.get("state") in ("done", "error") else status
+        return status, payload, retry_after
+
+    return await _run(schedule, submit, time_scale, max_attempts,
+                      job_timeout)

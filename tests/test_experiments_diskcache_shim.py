@@ -1,0 +1,79 @@
+"""Regression test for the deprecated ``repro.experiments.diskcache``
+shim: it must warn exactly once (on import) and re-export the engine
+module's full public surface, so legacy imports keep working while the
+deprecation stays visible.
+
+Runs the import in a subprocess so the result does not depend on what
+any other test already imported into this interpreter.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+from repro.engine import diskcache as engine_diskcache
+
+ASSERT_SCRIPT = textwrap.dedent("""
+    import json
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.experiments.diskcache as shim
+        # re-importing must NOT warn again (module cache)
+        import repro.experiments.diskcache  # noqa: F811
+    import repro.engine.diskcache as engine
+
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "repro.experiments.diskcache" in str(w.message)]
+    surface = {name: getattr(shim, name) is getattr(engine, name)
+               for name in shim.__all__}
+    print(json.dumps({
+        "warn_count": len(deprecations),
+        "message": str(deprecations[0].message) if deprecations else "",
+        "all": sorted(shim.__all__),
+        "same_objects": surface,
+    }))
+""")
+
+
+def test_shim_warns_exactly_once_and_reexports_everything():
+    completed = subprocess.run(
+        [sys.executable, "-c", ASSERT_SCRIPT],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        cwd=str(__import__("pathlib").Path(__file__).parents[1]))
+    import json
+    report = json.loads(completed.stdout)
+    assert report["warn_count"] == 1
+    assert "repro.engine.diskcache" in report["message"]
+    # the shim's surface is the engine's surface, object-identical
+    assert all(report["same_objects"].values())
+    # ...and it is the *full* public surface the engine exports
+    engine_public = {
+        name for name in dir(engine_diskcache)
+        if not name.startswith("_")
+        and not getattr(getattr(engine_diskcache, name), "__module__",
+                        "repro.engine.diskcache").startswith(("typing",))
+        and name not in ("annotations",)
+    }
+    # modules/constants imported by the engine module itself are not
+    # part of its cache API; compare against the shim's declared list
+    expected = {"ENTRY_FORMAT", "cache_dir", "cache_enabled",
+                "cache_key", "contains", "entry_path", "invalidate",
+                "load", "payload_checksum", "store"}
+    assert set(report["all"]) == expected
+    assert expected <= engine_public
+
+
+def test_shim_loads_and_stores_through_engine(tmp_path, monkeypatch):
+    """Going through the shim hits the same cache files as the engine
+    path (it is the same implementation, not a copy)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    import repro.experiments.diskcache as shim
+    key = shim.cache_key("shim-test", x=1)
+    shim.store(key, {"v": 42})
+    assert engine_diskcache.load(key) == {"v": 42}
+    assert shim.entry_path(key) == engine_diskcache.entry_path(key)

@@ -1,0 +1,243 @@
+"""Chaos suite for the job server: deterministic faults under live load.
+
+Reuses the engine's :mod:`repro.engine.faults` plans (the
+``REPRO_FAULT_PLAN`` environment variable travels into the server's
+worker processes exactly as it does into sweep workers) and asserts the
+serving invariant: **every accepted job resolves** — either bit-identical
+to a clean serial run in a pristine cache, or as a well-formed
+structured error — never torn, never lost, no matter which worker died
+or which cache entry rotted underneath it.
+
+Scenarios needing a killable worker (hard death, hang-past-timeout) run
+in pool mode (``workers>=1``); the corrupt-cache scenario runs inline —
+the checksum validation it exercises lives in the disk cache, not the
+worker.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import diskcache, faults
+from repro.engine.sweep import SweepPoint, execute_point
+from repro.obs import spans
+from repro.serve import JobServer, ServerConfig, build_schedule, \
+    run_schedule, summarize_results
+
+#: Near-instant retries + short drain so scenarios stay quick.
+FAST = dict(backoff_base_seconds=0.01, backoff_max_seconds=0.05,
+            retry_after_seconds=0.05, drain_seconds=10.0)
+
+SPEC = {"matrix": "wiki-Vote", "model": "gamma"}
+POINT = SweepPoint(model="gamma", matrix="wiki-Vote")
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    yield
+    faults.clear_plan()
+
+
+def clean_fingerprint(tmp_path, monkeypatch, point=POINT):
+    """Fingerprint of a clean serial run in a separate pristine cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+    try:
+        return execute_point(point).fingerprint()
+    finally:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def arm(tmp_path, *specs):
+    return faults.FaultPlan.load(
+        faults.install_plan(list(specs), tmp_path / "faults"))
+
+
+def serve(coro):
+    return asyncio.run(coro)
+
+
+class TestWorkerDeath:
+    @pytest.mark.timeout(180)
+    def test_kill_mid_job_is_retried_bit_identical(self, tmp_path,
+                                                   monkeypatch):
+        """A worker os._exit-ing mid-job costs a retry, not the job."""
+        clean = clean_fingerprint(tmp_path, monkeypatch)
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="kill", model="gamma", matrix="wiki-Vote"))
+
+        async def scenario():
+            server = JobServer(ServerConfig(workers=1, max_retries=2,
+                                            timeout_seconds=60, **FAST))
+            await server.start()
+            status, body = await server.submit_and_wait(
+                SPEC, client="t", timeout=120)
+            stats = dict(server.stats)
+            await server.shutdown()
+            return status, body, stats
+
+        status, body, stats = serve(scenario())
+        assert (status, body["state"]) == (202, "done")
+        assert body["fingerprint"] == clean
+        assert body["attempts"] == 2
+        assert stats["crashes"] == 1
+        assert stats["retries"] == 1
+        assert plan.triggered(0) == 1
+
+    @pytest.mark.timeout(180)
+    def test_hung_worker_is_killed_past_timeout(self, tmp_path,
+                                                monkeypatch):
+        """A hang longer than the job timeout gets the worker killed,
+        the slot respawned, and the job retried to the clean result."""
+        clean = clean_fingerprint(tmp_path, monkeypatch)
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="hang", model="gamma", matrix="wiki-Vote",
+            hang_seconds=30.0))
+
+        async def scenario():
+            server = JobServer(ServerConfig(workers=1, max_retries=2,
+                                            timeout_seconds=1.0, **FAST))
+            await server.start()
+            status, body = await server.submit_and_wait(
+                SPEC, client="t", timeout=120)
+            stats = dict(server.stats)
+            await server.shutdown()
+            return status, body, stats
+
+        status, body, stats = serve(scenario())
+        assert (status, body["state"]) == (202, "done")
+        assert body["fingerprint"] == clean
+        assert stats["timeouts"] == 1
+        assert stats["retries"] == 1
+        assert plan.triggered(0) == 1
+
+    @pytest.mark.timeout(180)
+    def test_exhausted_retries_resolve_as_structured_error(self,
+                                                           tmp_path):
+        """A job that cannot succeed still terminates: a well-formed
+        error payload, never a hang or a torn response."""
+        arm(tmp_path, faults.FaultSpec(
+            kind="crash", model="gamma", matrix="wiki-Vote", times=10))
+
+        async def scenario():
+            server = JobServer(ServerConfig(workers=1, max_retries=1,
+                                            timeout_seconds=60, **FAST))
+            await server.start()
+            status, body = await server.submit_and_wait(
+                SPEC, client="t", timeout=120)
+            await server.shutdown()
+            return status, body
+
+        status, body = serve(scenario())
+        assert (status, body["state"]) == (202, "error")
+        assert body["error"]["reason"] == "error"
+        assert "InjectedFault" in body["error"]["message"]
+        assert body["attempts"] == 2
+
+
+class TestCorruptCache:
+    @pytest.mark.timeout(180)
+    def test_corrupt_l2_entry_recomputes_for_coalesced_group(
+            self, tmp_path, monkeypatch):
+        """A checksum-invalid L2 entry reads as a miss; the whole
+        coalesced group gets one clean recomputation, not torn bytes."""
+        from repro.engine.sweep import record_key
+
+        clean = clean_fingerprint(tmp_path, monkeypatch)
+        # arm first: the corruption fires on the entry's write, so the
+        # point's L2 entry lands on disk already torn
+        plan = arm(tmp_path, faults.FaultSpec(
+            kind="corrupt_cache", model="gamma", matrix="wiki-Vote"))
+        execute_point(POINT)
+        key = record_key(POINT)
+        assert plan.triggered(0) == 1
+        assert diskcache.entry_path(key).exists()
+
+        span_dir = tmp_path / "spans"
+        spans.enable(span_dir)
+        try:
+            async def scenario():
+                server = JobServer(ServerConfig(workers=0, **FAST))
+                await server.start()
+                results = await asyncio.gather(*[
+                    server.submit_and_wait(SPEC, client=f"c{i}",
+                                           timeout=120)
+                    for i in range(5)
+                ])
+                store_stats = dict(server.store.stats)
+                await server.shutdown()
+                return results, store_stats
+
+            results, store_stats = serve(scenario())
+        finally:
+            spans.disable()
+            faults.clear_plan()
+        assert all(body["state"] == "done" for _, body in results)
+        assert {body["fingerprint"] for _, body in results} == {clean}
+        # the corrupt entry read as a miss, and the group coalesced
+        # into exactly one recomputation
+        assert store_stats["l2_misses"] >= 1
+        merged = spans.merge_directory(span_dir)
+        counts = spans.count_by_name(merged["spans"])
+        assert counts["point/execute"] == 1
+        assert counts["serve/coalesced"] == 4
+
+
+class TestChaosUnderLoad:
+    @pytest.mark.timeout(600)
+    @pytest.mark.slow
+    def test_live_load_with_worker_kills_never_loses_a_job(
+            self, tmp_path, monkeypatch):
+        """The headline invariant: a seeded zipf load with workers
+        dying underneath it — every accepted job resolves bit-identical
+        to a clean serial run or as a well-formed error (and with this
+        fault budget, they all succeed)."""
+        schedule = build_schedule(
+            seed=11, requests=40, clients=10, zipf_s=1.2,
+            mean_gap_ms=0.0, matrices=("wiki-Vote",),
+            models=("gamma", "mkl"), variants=("none", "reorder"),
+            semirings=("arithmetic", "boolean"))
+        # clean fingerprints for every distinct spec, pristine cache
+        from repro.serve import JobSpec
+        distinct = {}
+        for entry in schedule["requests"]:
+            spec = JobSpec.from_payload(entry["spec"])
+            distinct[spec.key()] = spec
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+        clean = {key: execute_point(spec.to_point()).fingerprint()
+                 for key, spec in sorted(distinct.items())}
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        # wildcard faults: hit whichever job a worker picks up next
+        arm(tmp_path, faults.FaultSpec(
+            kind="kill", model="gamma", matrix="*", times=2),
+            faults.FaultSpec(
+            kind="flaky", model="mkl", matrix="*", times=1))
+
+        async def scenario():
+            server = JobServer(ServerConfig(
+                workers=2, max_retries=3, timeout_seconds=60,
+                queue_depth=32, per_client_limit=16, **FAST))
+            await server.start()
+            results = await run_schedule(server, schedule,
+                                         time_scale=0.0,
+                                         job_timeout=300.0)
+            unfinished = [job.id for job in server.jobs.values()
+                          if not job.finished]
+            stats = dict(server.stats)
+            await server.shutdown()
+            return results, unfinished, stats
+
+        results, unfinished, stats = serve(scenario())
+        assert unfinished == []  # no job lost
+        assert len(results) == 40
+        summary = summarize_results(results)
+        assert set(summary["statuses"]) <= {"200", "202"}
+        assert summary["states"] == {"done": 40}
+        for result in results:
+            assert result["fingerprint"] == clean[result["key"]], result
+        # the faults actually fired and were absorbed by retries
+        assert stats["crashes"] == 2
+        assert stats["errors"] == 1
+        assert stats["retries"] == 3
+        assert stats["failed"] == 0

@@ -1,0 +1,199 @@
+"""Hypothesis property tests: serving-tier invariants under random use.
+
+The L1 LRU, the coalescing map, and the tiered store are small pieces of
+state machinery whose failure modes are ordering bugs, so they are
+exercised with random operation interleavings against simple reference
+models. The four pinned invariants:
+
+* the LRU never exceeds its capacity and evicts in exact
+  least-recently-used order (checked against an ``OrderedDict`` model);
+* between a key's first ``join`` and its ``finish``, every joiner shares
+  one entry and *exactly one* caller is the leader — and each entry is
+  resolved exactly once;
+* in-flight work lives in the coalescing map, never in L1, so LRU
+  eviction (even with capacity 1) can never drop a job that is still
+  being computed;
+* ``TieredStore.put`` is strict write-through: at every step, every key
+  in L1 is also in L2 (containment).
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import CoalescingMap, LruCache, TieredStore
+
+KEYS = st.sampled_from([f"k{i}" for i in range(8)])
+
+LRU_OPS = st.one_of(
+    st.tuples(st.just("put"), KEYS, st.integers(0, 100)),
+    st.tuples(st.just("get"), KEYS, st.just(0)),
+    st.tuples(st.just("invalidate"), KEYS, st.just(0)),
+)
+
+
+class TestLruCache:
+    @given(st.integers(1, 5), st.lists(LRU_OPS, max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_ordered_dict_model(self, capacity, operations):
+        cache = LruCache(capacity)
+        model: "OrderedDict[str, int]" = OrderedDict()
+        for kind, key, value in operations:
+            if kind == "put":
+                evicted = cache.put(key, value)
+                if key in model:
+                    model.move_to_end(key)
+                model[key] = value
+                expected_evicted = []
+                while len(model) > capacity:
+                    old, _ = model.popitem(last=False)
+                    expected_evicted.append(old)
+                assert evicted == expected_evicted
+            elif kind == "get":
+                got = cache.get(key)
+                assert got == model.get(key)
+                if key in model:
+                    model.move_to_end(key)
+            else:
+                assert cache.invalidate(key) == (key in model)
+                model.pop(key, None)
+            # invariants at every step
+            assert len(cache) <= capacity
+            assert cache.keys() == list(model)
+
+    @given(st.lists(LRU_OPS, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_capacity_stays_empty(self, operations):
+        cache = LruCache(0)
+        for kind, key, value in operations:
+            if kind == "put":
+                assert cache.put(key, value) == []
+            elif kind == "get":
+                assert cache.get(key) is None
+            else:
+                cache.invalidate(key)
+            assert len(cache) == 0
+
+
+COALESCE_OPS = st.lists(
+    st.tuples(st.sampled_from(["join", "finish"]), KEYS), max_size=60)
+
+
+class _Entry:
+    """Future stand-in that counts resolutions."""
+
+    def __init__(self) -> None:
+        self.resolved = 0
+
+    def resolve(self) -> None:
+        self.resolved += 1
+
+
+class TestCoalescingMap:
+    @given(COALESCE_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_leader_exactly_once_and_resolve_exactly_once(self, ops):
+        coalesce = CoalescingMap()
+        inflight: dict = {}  # model: key -> entry
+        all_entries = []
+        for kind, key in ops:
+            if kind == "join":
+                def factory():
+                    entry = _Entry()
+                    all_entries.append(entry)
+                    return entry
+
+                entry, leader = coalesce.join(key, factory)
+                if key in inflight:
+                    # follower: shares the leader's entry, never leads
+                    assert not leader
+                    assert entry is inflight[key]
+                else:
+                    # first join of the window: exactly one leader
+                    assert leader
+                    inflight[key] = entry
+            else:
+                entry = coalesce.finish(key)
+                model_entry = inflight.pop(key, None)
+                assert entry is model_entry
+                if entry is not None:
+                    # the leader resolves on finish — exactly once,
+                    # because finish pops the key
+                    entry.resolve()
+            assert len(coalesce) == len(inflight)
+        for entry in all_entries:
+            assert entry.resolved <= 1
+        # joins + creations account for every join call
+        joins = sum(1 for kind, _ in ops if kind == "join")
+        assert coalesce.created + coalesce.joined == joins
+
+    @given(COALESCE_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_eviction_never_drops_inflight_work(self, ops):
+        """The server discipline: in-flight entries live in the
+        coalescing map, results in the (tiny) L1. Even a capacity-1 L1
+        thrashing constantly can never make an in-flight key
+        unreachable."""
+        coalesce = CoalescingMap()
+        l1 = LruCache(1)
+        for kind, key in ops:
+            if kind == "join":
+                coalesce.join(key, _Entry)
+            else:
+                entry = coalesce.finish(key)
+                if entry is not None:
+                    l1.put(key, entry)  # result admitted after finish
+            for inflight_key in coalesce.keys():
+                # reachable regardless of what L1 evicted
+                assert coalesce.get(inflight_key) is not None
+
+
+class _DictBackend:
+    """In-memory L2 stand-in (no disk, no checksums)."""
+
+    def __init__(self) -> None:
+        self.entries: dict = {}
+
+    def load(self, key):
+        return self.entries.get(key)
+
+    def store(self, key, payload):
+        self.entries[key] = payload
+
+    def contains(self, key):
+        return key in self.entries
+
+    def invalidate(self, key):
+        return self.entries.pop(key, None) is not None
+
+
+STORE_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS),
+        st.tuples(st.just("get"), KEYS),
+        st.tuples(st.just("invalidate"), KEYS),
+    ),
+    max_size=60,
+)
+
+
+class TestTieredStoreContainment:
+    @given(st.integers(1, 4), STORE_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_l1_subset_of_l2_under_put_discipline(self, capacity, ops):
+        l2 = _DictBackend()
+        store = TieredStore(l1_capacity=capacity, l2=l2)
+        for index, (kind, key) in enumerate(ops):
+            if kind == "put":
+                store.put(key, {"v": index})
+            elif kind == "get":
+                payload, tier = store.get(key)
+                if tier == "l1":
+                    # an L1 hit implies the L2 entry exists and agrees
+                    assert l2.entries[key] == payload
+            else:
+                store.invalidate(key)
+            # containment at every step
+            for resident in store.l1.keys():
+                assert resident in l2.entries
+            assert len(store.l1) <= capacity
