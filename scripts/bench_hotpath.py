@@ -226,6 +226,21 @@ REF_MODEL_POINTS = [
     ("webbase-1M", None, False),
 ]
 
+#: Deep-tree points: (matrix, num_pes, radix). A small PE radix forces
+#: multi-level task trees on large suite matrices, so interior merge
+#: tasks and root emits dominate the dispatch mix — the scalar tail the
+#: interior-cohort epochs eliminate. Both engines run every point
+#: (``model-deep/*`` and ``model-ref-deep/*`` rows); the batched rows
+#: carry the engine's dispatch split in their detail blob.
+DEEP_MODEL_POINTS = [
+    ("webbase-1M", 8, 4),
+    ("roadNet-CA", 8, 2),
+]
+
+QUICK_DEEP_MODEL_POINTS = [
+    ("wiki-Vote", 4, 2),
+]
+
 
 def bench_models(quick: bool) -> list:
     import dataclasses
@@ -260,16 +275,66 @@ def bench_models(quick: bool) -> list:
         tag = semiring_name or "arith"
         if detailed:
             tag += "+detailed"
+        detail = {"matrix": matrix, "semiring": semiring_name,
+                  "detailed_pe": detailed,
+                  "cycles": result.cycles,
+                  "tasks": result.num_tasks}
+        dispatch = getattr(result, "dispatch", None)
+        if dispatch is not None:
+            detail["dispatch"] = dict(dispatch)
+            detail["scalar_dispatch_fraction"] = getattr(
+                result, "scalar_dispatch_fraction", None)
         results.append({
             "name": f"{prefix}/{matrix}/{tag}",
             "kind": "model",
             "wall_s": wall,
             "items": result.num_tasks,
             "items_per_s": result.num_tasks / wall if wall else None,
-            "detail": {"matrix": matrix, "semiring": semiring_name,
-                       "detailed_pe": detailed,
-                       "cycles": result.cycles,
-                       "tasks": result.num_tasks},
+            "detail": detail,
+        })
+    return results
+
+
+def bench_deep_models(quick: bool) -> list:
+    """Deep-task-tree points: small radix, interior-dominated dispatch."""
+    import dataclasses
+
+    from repro.core import GammaSimulator
+    from repro.engine.defaults import scaled_gamma_config
+    from repro.matrices import suite
+
+    try:
+        from repro.core import ReferenceGammaSimulator
+    except ImportError:  # baseline tree: single-engine simulator only
+        ReferenceGammaSimulator = None
+
+    base = scaled_gamma_config()
+    deep_points = QUICK_DEEP_MODEL_POINTS if quick else DEEP_MODEL_POINTS
+    points = [("model-deep/gamma", GammaSimulator, p) for p in deep_points]
+    if ReferenceGammaSimulator is not None:
+        points += [("model-ref-deep/gamma", ReferenceGammaSimulator, p)
+                   for p in deep_points]
+    results = []
+    for prefix, simulator_class, (matrix, num_pes, radix) in points:
+        a, b = suite.operands(matrix)
+        config = dataclasses.replace(base, num_pes=num_pes, radix=radix)
+        start = time.perf_counter()
+        result = simulator_class(config, keep_output=False).run(a, b)
+        wall = time.perf_counter() - start
+        detail = {"matrix": matrix, "num_pes": num_pes, "radix": radix,
+                  "cycles": result.cycles, "tasks": result.num_tasks}
+        dispatch = getattr(result, "dispatch", None)
+        if dispatch is not None:
+            detail["dispatch"] = dict(dispatch)
+            detail["scalar_dispatch_fraction"] = getattr(
+                result, "scalar_dispatch_fraction", None)
+        results.append({
+            "name": f"{prefix}/{matrix}/pes{num_pes}-radix{radix}",
+            "kind": "model",
+            "wall_s": wall,
+            "items": result.num_tasks,
+            "items_per_s": result.num_tasks / wall if wall else None,
+            "detail": detail,
         })
     return results
 
@@ -293,6 +358,7 @@ def run_bench(label: str, quick: bool) -> dict:
     points.append(bench_merger(quick))
     points.append(bench_combine(quick))
     points.extend(bench_models(quick))
+    points.extend(bench_deep_models(quick))
     total = sum(p["wall_s"] for p in points)
     return {
         "schema_version": SCHEMA_VERSION,
@@ -383,6 +449,64 @@ def combine(before_path: str, after_path: str,
     }
 
 
+def guard_deep(pinned_path: str, threshold: float = 0.9) -> int:
+    """CI regression guard over the deep-tree model rows.
+
+    Re-runs every ``DEEP_MODEL_POINTS`` entry through both engines on
+    the current tree and compares each point's engine-speed ratio
+    (reference wall / batched wall) against the same ratio in the
+    pinned trajectory's ``after`` report. The ratio form makes the
+    check machine-independent — CI runners and the pinning machine
+    never share absolute wall clocks — while still failing when the
+    batched engine's deep-tree rows regress more than ``1 - threshold``
+    relative to the reference engine. Returns a process exit code.
+    """
+    with open(pinned_path) as handle:
+        pinned = json.load(handle)
+    if pinned.get("kind") == "hotpath-trajectory":
+        pinned_points = pinned["after"]["points"]
+    else:
+        pinned_points = pinned["points"]
+    pinned_by_name = {p["name"]: p for p in pinned_points}
+
+    fresh = {p["name"]: p for p in bench_deep_models(quick=False)}
+    failures = []
+    checked = 0
+    for matrix, num_pes, radix in DEEP_MODEL_POINTS:
+        suffix = f"gamma/{matrix}/pes{num_pes}-radix{radix}"
+        names = (f"model-deep/{suffix}", f"model-ref-deep/{suffix}")
+        pinned_pair = [pinned_by_name.get(name) for name in names]
+        fresh_pair = [fresh.get(name) for name in names]
+        if None in pinned_pair:
+            print(f"guard-deep: {suffix}: not in pinned entry, skipping",
+                  file=sys.stderr)
+            continue
+        if None in fresh_pair:
+            failures.append(f"{suffix}: missing from fresh run")
+            continue
+        pinned_ratio = (pinned_pair[1]["wall_s"]
+                        / pinned_pair[0]["wall_s"])
+        fresh_ratio = fresh_pair[1]["wall_s"] / fresh_pair[0]["wall_s"]
+        checked += 1
+        verdict = "ok"
+        if fresh_ratio < threshold * pinned_ratio:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{suffix}: ref/batched ratio {fresh_ratio:.2f} < "
+                f"{threshold:.2f} x pinned {pinned_ratio:.2f}")
+        print(f"guard-deep: {suffix}: pinned ratio {pinned_ratio:.2f}, "
+              f"fresh {fresh_ratio:.2f} ({verdict})", file=sys.stderr)
+    if failures:
+        print("guard-deep: FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    if not checked:
+        print("guard-deep: FAIL: no deep-tree rows checked (pinned entry "
+              "predates the deep points?)", file=sys.stderr)
+        return 1
+    print(f"guard-deep: OK ({checked} points)", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="current",
@@ -394,7 +518,13 @@ def main() -> int:
     parser.add_argument("--combine", nargs=2,
                         metavar=("BEFORE", "AFTER"),
                         help="merge two reports into a trajectory file")
+    parser.add_argument("--guard-deep", metavar="PINNED",
+                        help="regression-check the deep-tree rows against "
+                             "a pinned trajectory; exits 1 on regression")
     args = parser.parse_args()
+
+    if args.guard_deep:
+        return guard_deep(args.guard_deep)
 
     if args.combine:
         report = combine(*args.combine, previous_path=args.out)

@@ -68,6 +68,30 @@ class Accumulator:
         return fiber
 
 
+def accumulate_groups(sorted_values, flags, semiring=None):
+    """Batched accumulator: reduce each coordinate group of a sorted stream.
+
+    The array analogue of streaming ``sorted_values`` through
+    :class:`Accumulator` group by group: ``flags`` marks the first
+    element of each same-coordinate run (as produced by
+    :func:`repro.core.merger.composite_key_order`) and every run is
+    folded left-to-right in stream order. Arithmetic runs use the
+    zero-started ``np.bincount`` fold — bit-identical to the dict and
+    array paths of ``linear_combine`` — while semirings with a declared
+    ``add_ufunc`` reduce with first-element-seeded ``reduceat``, the
+    fold ``_combine_semiring`` performs scalar-wise.
+
+    Returns one accumulated value per flagged group, in stream order.
+    """
+    if semiring is None or semiring.is_arithmetic:
+        inverse = np.cumsum(flags)
+        inverse -= 1
+        return np.bincount(inverse, weights=sorted_values)
+    return np.asarray(
+        semiring.add_ufunc.reduceat(sorted_values, np.flatnonzero(flags)),
+        dtype=np.float64)
+
+
 def accumulate(stream: Iterable[Tuple[int, float]]) -> Fiber:
     """One-shot accumulation of a sorted (coord, value) stream."""
     acc = Accumulator()

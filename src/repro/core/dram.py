@@ -9,11 +9,15 @@ which is how a fully pipelined HBM interface behaves at saturation.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Dict
 
 #: Traffic categories reported by the paper's breakdowns.
 CATEGORIES = ("A", "B", "C", "partial_read", "partial_write")
+
+_gap_end = itemgetter(1)
 
 
 @dataclass
@@ -76,7 +80,11 @@ class MemoryInterface:
         self._busy_until = 0.0
         #: Idle intervals [start, end) earlier than _busy_until, available
         #: to requests that arrive out of time order (a work-conserving
-        #: channel serves whoever has data ready).
+        #: channel serves whoever has data ready). Kept sorted and
+        #: non-overlapping: splits preserve order and the tail gap opened
+        #: by a beyond-horizon request starts at the old horizon, past
+        #: every existing gap — so consumption can binary-search the
+        #: first usable gap and splice only the touched span.
         self._gaps: list = []
 
     def request(self, category: str, num_bytes: int, now: float) -> float:
@@ -101,28 +109,31 @@ class MemoryInterface:
             return max(now, min(self._busy_until, now))
         remaining = num_bytes / self.bytes_per_cycle
         finish = now
-        updated_gaps = []
-        for gap_start, gap_end in self._gaps:
-            if remaining <= 0 or gap_end <= now:
-                updated_gaps.append((gap_start, gap_end))
-                continue
-            usable_start = max(gap_start, now)
-            usable = gap_end - usable_start
-            if usable <= 0:
-                updated_gaps.append((gap_start, gap_end))
-                continue
-            take = min(usable, remaining)
-            remaining -= take
-            finish = usable_start + take
-            if gap_start < usable_start:
-                updated_gaps.append((gap_start, usable_start))
-            if usable_start + take < gap_end:
-                updated_gaps.append((usable_start + take, gap_end))
-        self._gaps = updated_gaps
+        gaps = self._gaps
+        if gaps and gaps[-1][1] > now:
+            # Gaps ending at or before ``now`` are unusable for this
+            # request but stay for out-of-order later ones; the sorted
+            # invariant makes them a prefix we can skip wholesale.
+            i = bisect_right(gaps, now, key=_gap_end)
+            j = i
+            n = len(gaps)
+            replacement = []
+            while j < n and remaining > 0:
+                gap_start, gap_end = gaps[j]
+                usable_start = max(gap_start, now)
+                take = min(gap_end - usable_start, remaining)
+                remaining -= take
+                finish = usable_start + take
+                if gap_start < usable_start:
+                    replacement.append((gap_start, usable_start))
+                if usable_start + take < gap_end:
+                    replacement.append((usable_start + take, gap_end))
+                j += 1
+            gaps[i:j] = replacement
         if remaining > 0:
             tail_start = max(now, self._busy_until)
             if tail_start > self._busy_until:
-                self._gaps.append((self._busy_until, tail_start))
+                gaps.append((self._busy_until, tail_start))
             self._busy_until = tail_start + remaining
             finish = self._busy_until
         return finish
@@ -153,24 +164,24 @@ class MemoryInterface:
             if num_bytes == 0:
                 continue
             remaining = num_bytes / bytes_per_cycle
-            if gaps:
-                updated = []
-                for gap_start, gap_end in gaps:
-                    if remaining <= 0 or gap_end <= now:
-                        updated.append((gap_start, gap_end))
-                        continue
+            if gaps and gaps[-1][1] > now:
+                i = bisect_right(gaps, now, key=_gap_end)
+                j = i
+                n = len(gaps)
+                replacement = []
+                while j < n and remaining > 0:
+                    gap_start, gap_end = gaps[j]
                     usable_start = gap_start if gap_start > now else now
-                    usable = gap_end - usable_start
-                    if usable <= 0:
-                        updated.append((gap_start, gap_end))
-                        continue
-                    take = usable if usable < remaining else remaining
+                    take = gap_end - usable_start
+                    if take > remaining:
+                        take = remaining
                     remaining -= take
                     if gap_start < usable_start:
-                        updated.append((gap_start, usable_start))
+                        replacement.append((gap_start, usable_start))
                     if usable_start + take < gap_end:
-                        updated.append((usable_start + take, gap_end))
-                gaps = updated
+                        replacement.append((usable_start + take, gap_end))
+                    j += 1
+                gaps[i:j] = replacement
             if remaining > 0:
                 tail_start = now if now > busy else busy
                 if tail_start > busy:

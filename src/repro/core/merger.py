@@ -104,6 +104,35 @@ class HighRadixMerger:
         )
 
 
+def composite_key_order(el_task, el_coords, num_cols):
+    """Batched merge-network analogue over a whole epoch of passes.
+
+    ``el_task[i]`` names the merge pass element *i* belongs to and
+    ``el_coords[i]`` its coordinate; elements of one pass appear in way
+    (input) order, exactly as the hardware's left-biased comparator tree
+    consumes them. The composite key ``task * num_cols + coord`` lets a
+    single stable argsort order every pass's elements by (pass,
+    coordinate) with ties kept in way order — the same emission order
+    :meth:`HighRadixMerger.merge` produces per pass, for all passes at
+    once.
+
+    Returns:
+        ``(order, flags)``: the permutation sorting the element stream,
+        and a boolean array marking the first element of each (pass,
+        coordinate) group in the sorted stream.
+    """
+    total = len(el_task)
+    if total == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+    key = el_task * np.int64(num_cols) + el_coords
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    flags = np.empty(total, dtype=bool)
+    flags[0] = True
+    np.not_equal(sorted_key[1:], sorted_key[:-1], out=flags[1:])
+    return order, flags
+
+
 def merge_cycles(total_input_elements: int, pipeline_depth: int = 6) -> int:
     """Closed-form merge timing: 1 element per cycle plus pipeline fill.
 

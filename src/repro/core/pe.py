@@ -142,6 +142,30 @@ def task_cycles(input_lengths: Sequence[int]) -> int:
     return max(1, sum(input_lengths))
 
 
+def epoch_merge_groups(el_task, el_coords, num_cols, num_tasks):
+    """Merge-order plan for a whole epoch of PE passes.
+
+    Combines :func:`repro.core.merger.composite_key_order` (the batched
+    comparator-tree emission order) with the per-pass output sizing the
+    batched simulator needs before values are computed: ``out_lens[t]``
+    is the number of distinct coordinates pass ``t`` emits, i.e. the
+    length of its output fiber.
+
+    Returns ``(order, flags, out_lens)``; feed ``order``/``flags`` plus
+    the scaled value stream to
+    :func:`repro.core.accumulator.accumulate_groups` for the values.
+    """
+    import numpy as np
+
+    from repro.core.merger import composite_key_order
+
+    order, flags = composite_key_order(el_task, el_coords, num_cols)
+    if len(order) == 0:
+        return order, flags, np.zeros(num_tasks, dtype=np.int64)
+    out_lens = np.bincount(el_task[order][flags], minlength=num_tasks)
+    return order, flags, out_lens
+
+
 def epoch_cycles(total_input_elements):
     """Vectorized :func:`task_cycles` for a whole epoch of merge passes.
 

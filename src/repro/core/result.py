@@ -32,6 +32,11 @@ class SimulationResult:
         metrics: Serialized :class:`~repro.obs.MetricsRegistry` blob when
             the run was instrumented (``GammaSimulator(metrics=...)``);
             None otherwise. See :mod:`repro.obs`.
+        dispatch: Execution-path split ``{"scalar": n, "epoch": m}`` —
+            tasks dispatched one-at-a-time vs inside a batched epoch.
+            Engine diagnostics, not behavior: the reference engine is
+            all-scalar by construction and the lockstep suite excludes
+            this field from its equality set.
     """
 
     output: Optional[CsrMatrix]
@@ -46,6 +51,18 @@ class SimulationResult:
     config: GammaConfig
     c_nnz: Optional[int] = None
     metrics: Optional[Dict] = None
+    dispatch: Optional[Dict[str, int]] = None
+
+    @property
+    def scalar_dispatch_fraction(self) -> Optional[float]:
+        """Fraction of tasks that ran on the scalar path (None if unknown)."""
+        if not self.dispatch:
+            return None
+        total = (self.dispatch.get("scalar", 0)
+                 + self.dispatch.get("epoch", 0))
+        if not total:
+            return None
+        return self.dispatch.get("scalar", 0) / total
 
     @property
     def total_traffic(self) -> int:

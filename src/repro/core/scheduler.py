@@ -437,6 +437,29 @@ class EpochScheduler(Scheduler):
             entries.append(pop(ready))
         return entries
 
+    def drain_ready_interiors(self) -> List:
+        """Pop the run of ready interior (level >= 1) tasks at the ready head.
+
+        The interior mirror of :meth:`drain_ready_leaves`: every popped
+        task's inputs are already dispatched and completed (that is what
+        put it in the ready heap), so the run forms a *cohort* whose
+        dispatch order the reference loop fixes by heap priority alone —
+        until its PE-availability horizon reaches the cohort's fence
+        (:meth:`fence_plan` applies unchanged: drained interior ids play
+        the ``leaf_ids`` role). The run stops at the first level-0
+        entry, keeping the specialized leaf epoch paths for leaf work.
+        Returns the popped heap entries verbatim so an undispatched
+        suffix can be pushed back untouched.
+        """
+        ready = self._ready
+        pop = heapq.heappop
+        entries: List = []
+        while ready:
+            if ready[0][1].level == 0:
+                break
+            entries.append(pop(ready))
+        return entries
+
     def push_back(self, entries) -> None:
         """Return undispatched :meth:`drain_ready_leaves` entries unchanged."""
         ready = self._ready

@@ -36,15 +36,26 @@ struct-of-arrays state:
   partial writebacks) are deferred and flushed in issue order via
   ``MemoryInterface.request_epoch``.
 
-Only the dependency-chain tail proper — interior merge tasks and root
-emits, whose dispatch order genuinely depends on completion timing —
-falls back to the scalar per-task path, which is inherited unchanged
-from the reference run state. Non-final leaves dispatched in a fenced
-epoch keep the reference's side effects exactly: the partial-output
-budget rises per dispatch (with the reference's between-dispatch refill
-expansions replayed at the same budget values), partial lines are
-allocated and written in dispatch order, and completions enter the
-drain heap carrying the real task so parents unblock identically.
+Interior merge tasks and root emits — the task-tree tail that used to
+run scalar — execute as *cohort* epochs: when the ready head is an
+interior task, the whole ready run of interior tasks drains
+(:meth:`EpochScheduler.drain_ready_interiors`), the same fence plan
+bounds how far dispatch order is timing-independent, and each task's
+partial inputs are gathered into struct-of-arrays form at arming time
+(coordinate/value arrays, line ranges, dependency readiness) so the
+dispatch loop touches the FiberCache through batched
+``consume_ranges`` / ``fetch_read_ranges`` calls and the composite-key
+merge kernel combines partial-fiber and direct-B inputs for the whole
+cohort at once. Root emits defer their C-write charges through
+``request_epoch`` exactly like leaf epochs defer theirs. Only the
+degenerate fence-at-entry case (unreachable by the fence invariant)
+falls back to one scalar dispatch. Non-final tasks dispatched in any
+fenced epoch keep the reference's side effects exactly: the
+partial-output budget rises per dispatch (with the reference's
+between-dispatch refill expansions replayed at the same budget
+values), partial lines are allocated and written in dispatch order,
+and completions enter the drain heap carrying the real task so parents
+unblock identically.
 Runs that collect a MetricsRegistry take the scalar path wholesale so
 every per-dispatch metric sample stays bit-identical; traces are
 supported in epoch mode (events are emitted from the batch timing
@@ -63,7 +74,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.config import ELEMENT_BYTES, GammaConfig, LINE_BYTES, OFFSET_BYTES
-from repro.core.pe import epoch_cycles
+from repro.core.accumulator import accumulate_groups
+from repro.core.pe import epoch_cycles, epoch_merge_groups
 from repro.core.result import SimulationResult
 from repro.core.scheduler import EpochScheduler, WorkProgram
 from repro.core.simulator_ref import (_PARTIAL_BASE_LINE,  # noqa: F401
@@ -99,6 +111,37 @@ class _FastDetailedPE:
 
     def combine_detailed(self, fibers, scales, semiring=None):
         return self._pe.combine(fibers, scales, semiring=semiring)
+
+
+class _InteriorGather:
+    """Arming-time SoA gather of one interior task's inputs.
+
+    Built when a cohort first drains the task (all inputs are finished
+    by then, so every array below is final): partial-fiber coordinate /
+    value views and line ranges in input order, the dependency-readiness
+    time, and the direct-B inputs' CSR layout. The cohort dispatch loop
+    and combine kernel work entirely off these arrays — no fiber-object
+    or ``TaskInput`` walks after arming.
+    """
+
+    __slots__ = ("deps", "p_ranges", "p_coord_parts", "p_value_parts",
+                 "p_scales", "p_lens", "p_total", "deps_ready",
+                 "b_starts", "b_nnzs", "b_scales", "b_ranges", "b_total")
+
+    def __init__(self) -> None:
+        self.deps: List[int] = []
+        self.p_ranges: List = []
+        self.p_coord_parts: List = []
+        self.p_value_parts: List = []
+        self.p_scales: List[float] = []
+        self.p_lens: List[int] = []
+        self.p_total = 0
+        self.deps_ready = 0.0
+        self.b_starts: List[int] = []
+        self.b_nnzs: List[int] = []
+        self.b_scales: List[float] = []
+        self.b_ranges: List = []
+        self.b_total = 0
 
 
 class GammaSimulator:
@@ -201,6 +244,13 @@ class _BatchedRunState(_ReferenceRunState):
         #: Output-row lengths (c_nnz and C-write sizing) — maintained even
         #: when output values are skipped.
         self.output_len: Dict[int, int] = {}
+        #: Arming-time gather records for ready interior tasks, keyed by
+        #: task id: partial-input SoA views, line ranges, dependency
+        #: readiness, and direct-B layout. Built once when a cohort
+        #: drains the task, reused across push-back re-drains, and
+        #: popped at dispatch — interior gathering never walks fiber
+        #: objects in the dispatch loop.
+        self._cohort_gather: Dict[int, _InteriorGather] = {}
 
     # -- main loop --------------------------------------------------------
     def execute(self) -> None:
@@ -270,6 +320,25 @@ class _BatchedRunState(_ReferenceRunState):
                         else:
                             sequence = new_sequence
                     continue
+                if head is not None:
+                    # Interior cohort: the ready run of level >= 1 tasks
+                    # whose inputs are all finished executes as one
+                    # epoch under the same fence discipline.
+                    new_sequence = self._execute_epoch_cohort(
+                        completions, sequence, target_pending)
+                    if new_sequence == sequence:
+                        # Unreachable per the fence invariant (the
+                        # fence clears the PE horizon at epoch entry);
+                        # degrade to one scalar dispatch rather than
+                        # spin.
+                        task = scheduler.next_task()
+                        finish = self._execute_task(task)
+                        heapq.heappush(
+                            completions, (finish, sequence, task))
+                        sequence += 1
+                    else:
+                        sequence = new_sequence
+                    continue
             task = scheduler.next_task()
             if task is not None:
                 finish = self._execute_task(task)
@@ -307,6 +376,9 @@ class _BatchedRunState(_ReferenceRunState):
 
     # -- scalar-path hook -------------------------------------------------
     def _execute_task(self, task):
+        # A task drained into a cohort but dispatched scalar (degenerate
+        # fence fallback) must not leave a stale gather record behind.
+        self._cohort_gather.pop(task.task_id, None)
         finish = super()._execute_task(task)
         if task.is_final:
             self.output_len[task.row] = len(self.output_rows[task.row])
@@ -348,6 +420,7 @@ class _BatchedRunState(_ReferenceRunState):
         total_elements = int(totals.sum())
         self.flops += total_elements
         self.num_tasks += num_tasks
+        self.dispatch_epoch += num_tasks
 
         out_lens = self._combine_epoch(
             rows, scale_parts, row_start, nnzs, input_task, input_first,
@@ -524,14 +597,9 @@ class _BatchedRunState(_ReferenceRunState):
             gather = np.arange(total_elements, dtype=np.int64)
             gather += np.repeat(row_start - block_start, nnzs)
             el_task = np.repeat(input_task, nnzs)
-            key = el_task * np.int64(self.b.num_cols) + self.b.coords[gather]
-            order = np.argsort(key, kind="stable")
-            sorted_key = key[order]
-            flags = np.empty(total_elements, dtype=bool)
-            flags[0] = True
-            np.not_equal(sorted_key[1:], sorted_key[:-1], out=flags[1:])
-            len_list = np.bincount(el_task[order][flags],
-                                   minlength=num_batch).tolist()
+            _, _, out_lens = epoch_merge_groups(
+                el_task, self.b.coords[gather], self.b.num_cols, num_batch)
+            len_list = out_lens.tolist()
         else:
             len_list = [0] * num_batch
 
@@ -670,6 +738,7 @@ class _BatchedRunState(_ReferenceRunState):
                 prefix_elements = int(totals[:dispatched].sum())
             self.flops += prefix_elements
             self.num_tasks += dispatched
+            self.dispatch_epoch += dispatched
             self.pe_busy += pe_busy
             dispatched_finals = finals[:dispatched]
             # Non-final leaves need their partial fibers materialized
@@ -698,6 +767,418 @@ class _BatchedRunState(_ReferenceRunState):
             if done is not None:
                 scheduler.task_completed(done)
         return sequence + dispatched
+
+    # -- interior cohorts --------------------------------------------------
+    def _gather_interior(self, task) -> _InteriorGather:
+        """Build (or fetch) the arming-time gather record of one interior task.
+
+        Side-effect free: partial fibers are referenced, not popped, and
+        no reference-path memo entries are created — a record built when
+        a cohort first drains the task stays valid across push-back
+        re-drains (dependency finish times and partial fibers are
+        immutable once set) and is discharged only at dispatch.
+        """
+        memo = self._cohort_gather
+        record = memo.get(task.task_id)
+        if record is not None:
+            return record
+        record = _InteriorGather()
+        offsets = self.b.offsets
+        semiring = self.semiring
+        finish_time = self.finish_time
+        partial_fibers = self.partial_fibers
+        partial_lines = self.partial_lines
+        deps_ready = 0.0
+        for inp in task.inputs:
+            if inp.kind == "B":
+                row = inp.index
+                start = int(offsets[row])
+                end = int(offsets[row + 1])
+                record.b_starts.append(start)
+                record.b_nnzs.append(end - start)
+                record.b_scales.append(inp.scale)
+                record.b_ranges.append(
+                    ((start * ELEMENT_BYTES) // LINE_BYTES,
+                     -(-(end * ELEMENT_BYTES) // LINE_BYTES)))
+                record.b_total += end - start
+            else:
+                dep = inp.index
+                finish = finish_time[dep]
+                if finish > deps_ready:
+                    deps_ready = finish
+                fiber = partial_fibers[dep]
+                n = len(fiber.coords)
+                record.deps.append(dep)
+                record.p_ranges.append(partial_lines[dep])
+                record.p_coord_parts.append(fiber.coords)
+                record.p_value_parts.append(fiber.values)
+                # Partial fibers pass through unscaled: the semiring's
+                # multiplicative identity, not necessarily 1.0.
+                record.p_scales.append(
+                    semiring.one if semiring is not None else inp.scale)
+                record.p_lens.append(n)
+                record.p_total += n
+        record.deps_ready = deps_ready
+        memo[task.task_id] = record
+        return record
+
+    @staticmethod
+    def _cohort_coords(b, p_coord_parts, b_starts, b_nnzs):
+        """Coordinate stream of a cohort's two-block element layout.
+
+        All partial-input elements first (task order, input order within
+        each task), then all direct-B elements likewise. Because
+        ``build_task_tree`` puts partial inputs ahead of direct B rows
+        in every interior task, a stable composite-key sort over this
+        layout keeps (task, coordinate) ties in exact task input order.
+        Returns ``(el_coords, gather)`` with ``gather`` the B-element
+        index vector for the matching value gather.
+        """
+        if p_coord_parts:
+            p_coords = (np.concatenate(p_coord_parts)
+                        if len(p_coord_parts) > 1
+                        else np.asarray(p_coord_parts[0]))
+        else:
+            p_coords = np.empty(0, dtype=np.int64)
+        nnz_arr = np.asarray(b_nnzs, dtype=np.int64)
+        b_total = int(nnz_arr.sum())
+        if b_total:
+            starts_arr = np.asarray(b_starts, dtype=np.int64)
+            block_start = np.cumsum(nnz_arr) - nnz_arr
+            gather = np.arange(b_total, dtype=np.int64)
+            gather += np.repeat(starts_arr - block_start, nnz_arr)
+            b_coords = b.coords[gather]
+        else:
+            gather = np.empty(0, dtype=np.int64)
+            b_coords = np.empty(0, dtype=np.int64)
+        if not b_total:
+            return p_coords, gather
+        if not len(p_coords):
+            return b_coords, gather
+        return np.concatenate((p_coords, b_coords)), gather
+
+    def _execute_epoch_cohort(self, completions, sequence: int,
+                              target_pending: int) -> int:
+        """Execute a ready cohort of interior tasks as one fenced epoch.
+
+        The interior analogue of :meth:`_execute_epoch_fenced`: the
+        ready run of level >= 1 tasks — every input already dispatched
+        and finished — dispatches back-to-back in the reference loop's
+        exact heap order until its PE-availability horizon reaches the
+        cohort fence (``fence_plan`` with the drained interior ids in
+        the leaf role), where a not-yet-drained completion could ready
+        a new task that preempts the remainder. Input gathering comes
+        from the arming-time :class:`_InteriorGather` records (no fiber
+        walks in the loop), output lengths from one structure pass of
+        the composite-key kernel, cache touches stay per-task in exact
+        scalar order (partial consumes first, then B fetches, matching
+        task input order), and result-less DRAM charges defer through
+        ``request_epoch``. Dispatching an interior task always moves
+        the partial budget (it consumes partials; non-finals also
+        produce one), so the reference's between-dispatch refill gate
+        replays after every dispatch. The undispatched suffix returns
+        to the ready heap verbatim.
+        """
+        scheduler = self.scheduler
+        entries = scheduler.drain_ready_interiors()
+        num_batch = len(entries)
+        tasks = [entry[1] for entry in entries]
+        ids = [task.task_id for task in tasks]
+        fence, waiters = scheduler.fence_plan(self.finish_time, ids)
+        records = [self._gather_interior(task) for task in tasks]
+
+        # Structure pass over the whole cohort up front (value-free,
+        # needed in-loop to size partial allocations and C writes).
+        b = self.b
+        task_index = np.arange(num_batch, dtype=np.int64)
+        p_counts = np.fromiter((r.p_total for r in records),
+                               dtype=np.int64, count=num_batch)
+        b_counts = np.fromiter((r.b_total for r in records),
+                               dtype=np.int64, count=num_batch)
+        p_coord_parts: List = []
+        b_starts: List[int] = []
+        b_nnzs: List[int] = []
+        for record in records:
+            p_coord_parts.extend(record.p_coord_parts)
+            b_starts.extend(record.b_starts)
+            b_nnzs.extend(record.b_nnzs)
+        el_coords, _ = self._cohort_coords(b, p_coord_parts,
+                                           b_starts, b_nnzs)
+        el_task = np.concatenate((np.repeat(task_index, p_counts),
+                                  np.repeat(task_index, b_counts)))
+        _, _, out_lens = epoch_merge_groups(
+            el_task, el_coords, b.num_cols, num_batch)
+        len_list = out_lens.tolist()
+        totals = p_counts + b_counts
+        cycle_list = epoch_cycles(totals).tolist()
+
+        multi = self.multi_pe
+        pe_free = self.pe_free
+        free_times = self.pe_free_times
+        busy_cycles = self.pe_busy_cycles
+        row_pe = self.row_pe
+        memory = self.memory
+        cache = self.cache
+        consume = cache.consume_ranges
+        fetch = cache.fetch_read_ranges
+        write = cache.write_range
+        sample = cache.sample_utilization
+        allocate = self._allocate_partial_lines
+        partial_fibers = self.partial_fibers
+        partial_lines = self.partial_lines
+        finish_time = self.finish_time
+        trace = self.trace
+        output_len = self.output_len
+        refill_epoch = scheduler.refill_epoch
+        partial_consumed = scheduler.partial_consumed
+        gather_memo = self._cohort_gather
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        pending: List = []
+        finishes: List[float] = []
+        pe_busy = 0.0
+        threshold = 0.0
+        dispatched = num_batch
+        if trace is not None:
+            from repro.core.trace import TaskEvent
+        for i in range(num_batch):
+            task = tasks[i]
+            row = task.row
+            if multi:
+                thr = pe_free[0][0]
+            else:
+                while pe_free[0][0] != free_times[pe_free[0][1]]:
+                    heappop(pe_free)
+                thr = pe_free[0][0]
+            if thr >= fence:
+                dispatched = i
+                break
+            threshold = thr
+            if multi:
+                start, pe = heappop(pe_free)
+            else:
+                pe = row_pe.get(row)
+                if pe is None:
+                    pe = pe_free[0][1]
+                    row_pe[row] = pe
+                start = free_times[pe]
+            record = records[i]
+            if record.deps_ready > start:
+                start = record.deps_ready
+            # Inputs in task order: partial consumes first (they precede
+            # direct B rows in ``task.inputs``), then B fetches — the
+            # scalar input loop's exact cache touch sequence.
+            for dep in record.deps:
+                del partial_fibers[dep]
+                del partial_lines[dep]
+            p_miss, _ = consume(record.p_ranges)
+            if record.deps:
+                partial_consumed(len(record.deps))
+            if record.b_ranges:
+                b_miss, dirty = fetch(record.b_ranges, "B")
+            else:
+                b_miss = 0
+                dirty = 0
+            cyc = cycle_list[i]
+            if b_miss or p_miss:
+                if pending:
+                    memory.request_epoch(pending)
+                    pending = []
+                data_ready = start
+                if b_miss:
+                    got = memory.request("B", b_miss * LINE_BYTES, start)
+                    if got > data_ready:
+                        data_ready = got
+                if p_miss:
+                    got = memory.request(
+                        "partial_read", p_miss * LINE_BYTES, start)
+                    if got > data_ready:
+                        data_ready = got
+                finish = start + cyc
+                if data_ready > finish:
+                    finish = data_ready
+            else:
+                finish = start + cyc
+            free_times[pe] = finish
+            heappush(pe_free, (finish, pe))
+            busy_cycles[pe] += cyc
+            pe_busy += cyc
+            out_len = len_list[i]
+            tid = ids[i]
+            if task.is_final:
+                output_len[row] = out_len
+                pending.append(
+                    ("C", out_len * ELEMENT_BYTES + OFFSET_BYTES, finish))
+            else:
+                self.num_partials += 1
+                # Mirror ``Scheduler.next_task``: dispatching a
+                # non-final task brings one more partial output fiber
+                # into existence (Sec. 3.4 budget).
+                scheduler.outstanding_partials += 1
+                lines = allocate(out_len)
+                partial_lines[tid] = lines
+                _, write_dirty = write(lines[0], lines[1], "partial")
+                dirty += write_dirty
+                arming = waiters.get(tid)
+                if arming is not None:
+                    for rec in arming:
+                        if finish > rec[1]:
+                            rec[1] = finish
+                        rec[0] -= 1
+                        if rec[0] == 0 and rec[1] < fence:
+                            fence = rec[1]
+            finish_time[tid] = finish
+            if dirty:
+                pending.append(
+                    ("partial_write", dirty * LINE_BYTES, finish))
+            finishes.append(finish)
+            sample(weight=cyc)
+            if trace is not None:
+                trace.record(TaskEvent(
+                    task_id=tid,
+                    row=row,
+                    level=task.level,
+                    is_final=task.is_final,
+                    pe=pe,
+                    start=start,
+                    finish=finish,
+                    busy_cycles=cyc,
+                    b_miss_lines=b_miss,
+                    partial_miss_lines=p_miss,
+                ))
+            del gather_memo[tid]
+            refill_epoch(target_pending, num_batch - i - 1)
+        if pending:
+            memory.request_epoch(pending)
+        if dispatched < num_batch:
+            scheduler.push_back(entries[dispatched:])
+        if dispatched:
+            self.flops += int(totals[:dispatched].sum())
+            self.num_tasks += dispatched
+            self.dispatch_epoch += dispatched
+            self.pe_busy += pe_busy
+            self._combine_cohort(records, tasks, ids, dispatched)
+        # Completion catch-up in exact (finish, sequence) order, as in
+        # the fenced leaf path: drained root emits vanish (final ids
+        # are never consulted by a dependency scan); drained interior
+        # partials unblock their parents — by the fence invariant none
+        # of those parents can have become ready at or below
+        # ``threshold``, so boundary drains are order-equivalent.
+        for i in range(dispatched):
+            heappush(completions, (finishes[i], sequence + i,
+                                   None if tasks[i].is_final else tasks[i]))
+        while completions and completions[0][0] <= threshold:
+            _, _, done = heappop(completions)
+            if done is not None:
+                scheduler.task_completed(done)
+        return sequence + dispatched
+
+    def _combine_cohort(self, records, tasks, ids, dispatched: int) -> None:
+        """Merge the dispatched cohort prefix in one composite-key kernel.
+
+        The value-side twin of the cohort structure pass: rebuild the
+        prefix's two-block element stream, scale it (partials pass
+        through at the semiring's multiplicative identity), sort once,
+        reduce per group. Bit-matched to ``linear_combine`` exactly as
+        :meth:`_combine_epoch` is, including the single-nonempty-input
+        ``fiber.scale`` replay that preserves IEEE signed zeros.
+        """
+        finals = [task.is_final for task in tasks[:dispatched]]
+        if not self.keep_output and all(finals):
+            return
+        b = self.b
+        semiring = self.semiring
+        prefix = records[:dispatched]
+        rows = [task.row for task in tasks[:dispatched]]
+        p_coord_parts: List = []
+        p_value_parts: List = []
+        p_scales: List[float] = []
+        p_lens: List[int] = []
+        b_starts: List[int] = []
+        b_nnzs: List[int] = []
+        b_scales: List[float] = []
+        for record in prefix:
+            p_coord_parts.extend(record.p_coord_parts)
+            p_value_parts.extend(record.p_value_parts)
+            p_scales.extend(record.p_scales)
+            p_lens.extend(record.p_lens)
+            b_starts.extend(record.b_starts)
+            b_nnzs.extend(record.b_nnzs)
+            b_scales.extend(record.b_scales)
+        p_counts = np.fromiter((r.p_total for r in prefix),
+                               dtype=np.int64, count=dispatched)
+        b_counts = np.fromiter((r.b_total for r in prefix),
+                               dtype=np.int64, count=dispatched)
+        total = int(p_counts.sum()) + int(b_counts.sum())
+        if total == 0:
+            self._store_epoch_outputs(rows, finals, ids[:dispatched],
+                                      lambda i: Fiber.empty())
+            return
+        el_coords, gather = self._cohort_coords(b, p_coord_parts,
+                                                b_starts, b_nnzs)
+        task_index = np.arange(dispatched, dtype=np.int64)
+        el_task = np.concatenate((np.repeat(task_index, p_counts),
+                                  np.repeat(task_index, b_counts)))
+        order, flags, out_lens = epoch_merge_groups(
+            el_task, el_coords, b.num_cols, dispatched)
+        if p_value_parts:
+            p_values = (np.concatenate(p_value_parts)
+                        if len(p_value_parts) > 1
+                        else np.asarray(p_value_parts[0], dtype=np.float64))
+            p_el_scales = np.repeat(
+                np.asarray(p_scales, dtype=np.float64),
+                np.asarray(p_lens, dtype=np.int64))
+        else:
+            p_values = np.empty(0, dtype=np.float64)
+            p_el_scales = np.empty(0, dtype=np.float64)
+        b_el_values = b.values[gather]
+        b_el_scales = np.repeat(np.asarray(b_scales, dtype=np.float64),
+                                np.asarray(b_nnzs, dtype=np.int64))
+        el_values = np.concatenate((p_values, b_el_values))
+        el_scales = np.concatenate((p_el_scales, b_el_scales))
+        arithmetic = semiring is None or semiring.is_arithmetic
+        if arithmetic:
+            sorted_values = (el_values * el_scales)[order]
+        else:
+            products = np.asarray(
+                semiring.mul_array(el_scales, el_values), dtype=np.float64)
+            sorted_values = products[order]
+        out_values = accumulate_groups(sorted_values, flags, semiring)
+        out_coords = el_coords[order][flags]
+        bounds = np.cumsum(out_lens)
+        task_start = bounds - out_lens
+        if arithmetic:
+            # linear_combine's single-nonempty shortcut scales the fiber
+            # directly, with no zero-started fold; replay it so -0.0
+            # products survive bit-for-bit.
+            b_values = b.values
+            for t, record in enumerate(prefix):
+                nonempty = 0
+                for n in record.p_lens:
+                    if n:
+                        nonempty += 1
+                for n in record.b_nnzs:
+                    if n:
+                        nonempty += 1
+                if nonempty != 1:
+                    continue
+                span = None
+                for j, n in enumerate(record.p_lens):
+                    if n:
+                        span = record.p_value_parts[j] * record.p_scales[j]
+                        break
+                if span is None:
+                    for j, n in enumerate(record.b_nnzs):
+                        if n:
+                            lo = record.b_starts[j]
+                            span = b_values[lo:lo + n] * record.b_scales[j]
+                            break
+                out_values[task_start[t]:bounds[t]] = span
+        task_bounds = bounds
+        self._store_epoch_outputs(
+            rows, finals, ids[:dispatched],
+            lambda i: _make_fiber(out_coords[task_start[i]:task_bounds[i]],
+                                  out_values[task_start[i]:task_bounds[i]]))
 
     def _combine_epoch(self, rows, scale_parts, row_start, nnzs, input_task,
                        input_first, counts, total: int, num_tasks: int,
@@ -736,13 +1217,8 @@ class _BatchedRunState(_ReferenceRunState):
         gather += np.repeat(row_start - block_start, nnzs)
         el_coords = b.coords[gather]
         el_task = np.repeat(input_task, nnzs)
-        key = el_task * np.int64(b.num_cols) + el_coords
-        order = np.argsort(key, kind="stable")
-        sorted_key = key[order]
-        flags = np.empty(total, dtype=bool)
-        flags[0] = True
-        np.not_equal(sorted_key[1:], sorted_key[:-1], out=flags[1:])
-        out_lens = np.bincount(el_task[order][flags], minlength=num_tasks)
+        order, flags, out_lens = epoch_merge_groups(
+            el_task, el_coords, b.num_cols, num_tasks)
         if not need_values:
             return out_lens
         all_scales = (np.concatenate(scale_parts) if num_tasks > 1
@@ -754,16 +1230,11 @@ class _BatchedRunState(_ReferenceRunState):
         arithmetic = semiring is None or semiring.is_arithmetic
         if arithmetic:
             sorted_values = (el_values * el_scales)[order]
-            inverse = np.cumsum(flags)
-            inverse -= 1
-            out_values = np.bincount(inverse, weights=sorted_values)
         else:
             products = np.asarray(
                 semiring.mul_array(el_scales, el_values), dtype=np.float64)
-            out_values = np.asarray(
-                semiring.add_ufunc.reduceat(products[order],
-                                            np.flatnonzero(flags)),
-                dtype=np.float64)
+            sorted_values = products[order]
+        out_values = accumulate_groups(sorted_values, flags, semiring)
         bounds = np.cumsum(out_lens)
         task_start = bounds - out_lens
         if arithmetic:

@@ -166,6 +166,12 @@ class _ReferenceRunState:
         self.num_tasks = 0
         self.num_partials = 0
         self.now = 0.0
+        #: Dispatch-path split: tasks executed one-at-a-time on the
+        #: scalar path vs inside a batched epoch. The reference engine
+        #: is scalar by construction; the batched core counts how much
+        #: of the run its epoch machinery actually covered.
+        self.dispatch_scalar = 0
+        self.dispatch_epoch = 0
 
     # -- address mapping -------------------------------------------------
     def _b_row_lines(self, row: int) -> Tuple[int, int]:
@@ -273,6 +279,7 @@ class _ReferenceRunState:
 
     def _execute_task(self, task: Task) -> float:
         self.num_tasks += 1
+        self.dispatch_scalar += 1
         pe = self._pick_pe(task)
 
         # --- gather input fibers and stream them through the FiberCache ---
@@ -443,6 +450,8 @@ class _ReferenceRunState:
             self.scheduler.tasks_created)
         metrics.counter("sched/items_consumed").inc(
             self.scheduler.items_consumed)
+        metrics.counter("dispatch/scalar").inc(self.dispatch_scalar)
+        metrics.counter("dispatch/epoch").inc(self.dispatch_epoch)
         self.cache.publish_metrics(metrics)
 
     # -- A-side streaming traffic ----------------------------------------
@@ -484,6 +493,8 @@ class _ReferenceRunState:
             c_nnz=self.c_nnz(),
             metrics=(self.metrics.to_blob()
                      if self.metrics is not None else None),
+            dispatch={"scalar": self.dispatch_scalar,
+                      "epoch": self.dispatch_epoch},
         )
 
 

@@ -80,6 +80,9 @@ class RunRecord:
         metrics: Serialized :class:`~repro.obs.MetricsRegistry` blob when
             the run was instrumented; None otherwise (the default —
             sweeps never collect metrics, so cached records stay small).
+        dispatch: Execution-path split ``{"scalar": n, "epoch": m}`` of
+            the producing engine (Gamma only). Engine diagnostics, not
+            behavior — excluded from the fingerprint like ``metrics``.
     """
 
     model: str
@@ -98,6 +101,7 @@ class RunRecord:
     config: Union[GammaConfig, CpuConfig, None] = None
     multi_pe: bool = True
     metrics: Optional[Dict[str, Any]] = None
+    dispatch: Optional[Dict[str, int]] = None
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -125,6 +129,7 @@ class RunRecord:
             config=result.config,
             multi_pe=multi_pe,
             metrics=getattr(result, "metrics", None),
+            dispatch=getattr(result, "dispatch", None),
         )
 
     @classmethod
@@ -173,17 +178,18 @@ class RunRecord:
     def fingerprint(self) -> str:
         """Stable digest of the record's behavioral content.
 
-        Hashes the canonical JSON payload minus the ``metrics`` blob
-        (instrumentation detail, not behavior). Two runs of the same
-        point are bit-identical exactly when their fingerprints match —
-        the equality the chaos suite and the golden-fingerprint
-        regression test pin.
+        Hashes the canonical JSON payload minus the ``metrics`` blob and
+        the ``dispatch`` split (instrumentation/engine detail, not
+        behavior). Two runs of the same point are bit-identical exactly
+        when their fingerprints match — the equality the chaos suite and
+        the golden-fingerprint regression test pin.
         """
         import hashlib
         import json
 
         payload = self.to_payload()
         payload.pop("metrics", None)
+        payload.pop("dispatch", None)
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -210,9 +216,21 @@ class RunRecord:
             "gflops": self.gflops,
             "fingerprint": self.fingerprint(),
             "has_metrics": self.metrics is not None,
+            "scalar_dispatch_fraction": self.scalar_dispatch_fraction,
         }
 
     # -- derived metrics (superset of both legacy result types) ---------
+    @property
+    def scalar_dispatch_fraction(self) -> Optional[float]:
+        """Fraction of tasks dispatched on the scalar path (None if unknown)."""
+        if not self.dispatch:
+            return None
+        total = (self.dispatch.get("scalar", 0)
+                 + self.dispatch.get("epoch", 0))
+        if not total:
+            return None
+        return self.dispatch.get("scalar", 0) / total
+
     @property
     def total_traffic(self) -> int:
         return sum(self.traffic_bytes.values())

@@ -102,6 +102,11 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def _fmt_fraction(value: Optional[float]) -> str:
+    """Percentage cell tolerating records that never measured it."""
+    return "n/a" if value is None else f"{value:.1%}"
+
+
 def _clip(text: str, limit: int = 200) -> str:
     """Single-line, bounded cell text for failure logs in tables."""
     flat = " ".join(str(text).split())
@@ -175,10 +180,12 @@ def _sections(summary_payload: Dict[str, Any],
                  f"{len(summary['models'])} model(s)."),
         "headers": ["model", "matrix", "variant", "cycles",
                     "runtime (s)", "norm. traffic", "PE util.",
-                    "fingerprint"],
+                    "scalar disp.", "fingerprint"],
         "rows": [[r["model"], r["matrix"], r["variant"], r["cycles"],
                   r["runtime_seconds"], r["normalized_traffic"],
-                  r["pe_utilization"], r["fingerprint"][:12]]
+                  r["pe_utilization"],
+                  _fmt_fraction(r.get("scalar_dispatch_fraction")),
+                  r["fingerprint"][:12]]
                  for r in summary.get("records", [])],
     })
 

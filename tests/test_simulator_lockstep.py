@@ -26,10 +26,13 @@ here re-checks a fingerprint mode pair explicitly for fast triage.
 
 import itertools
 
+import numpy as np
 import pytest
 
+from repro.config import GammaConfig
 from repro.core import GammaSimulator, ReferenceGammaSimulator
 from repro.core.trace import ExecutionTrace
+from repro.matrices.builder import CooBuilder
 from repro.semiring import BOOLEAN, MAX_TIMES, TROPICAL_MIN
 from tests.test_differential import SMALL_CONFIG, random_pair
 
@@ -189,3 +192,137 @@ def test_golden_modes_run():
             SMALL_CONFIG, multi_pe_scheduling=multi_pe,
             semiring=semiring).run(a, b)
         assert_results_identical(reference, batched)
+
+
+# ---------------------------------------------------------------------------
+# Deep task trees: interior-cohort epochs
+# ---------------------------------------------------------------------------
+
+#: Radix 2 with dense A rows forces task trees of level >= 2, so interior
+#: tasks dominate the dispatch mix; the 1 KB FiberCache (16 lines) spills
+#: partial fibers mid-cohort, exercising the consume-miss / partial_read
+#: path inside interior epochs.
+DEEP_CONFIG = GammaConfig(
+    num_pes=2, radix=2, fibercache_bytes=1024,
+    fibercache_ways=2, fibercache_banks=2,
+)
+
+
+def deep_pair(seed):
+    """A seeded (A, B) pair whose A rows all exceed ``radix**2`` nonzeros.
+
+    Every A row gets 5-16 nonzeros, so at radix 2 each row's task tree
+    has at least three levels (leaves, combines, root) and the ready
+    heap regularly holds runs of interior tasks — the cohort path under
+    test — rather than the leaf-only stretches the shallow suite covers.
+    """
+    rng = np.random.default_rng(10_000 + seed)
+    m = int(rng.integers(3, 10))
+    k = int(rng.integers(18, 40))
+    n = int(rng.integers(6, 25))
+
+    a_builder = CooBuilder(m, k)
+    for row in range(m):
+        nnz = int(rng.integers(5, 17))
+        cols = rng.choice(k, size=min(nnz, k), replace=False)
+        for col in cols:
+            a_builder.add(row, int(col), float(rng.uniform(0.1, 5.0)))
+
+    b_builder = CooBuilder(k, n)
+    for _ in range(int(np.ceil(0.3 * k * n))):
+        b_builder.add(int(rng.integers(k)), int(rng.integers(n)),
+                      float(rng.uniform(0.1, 5.0)))
+    return a_builder.build(), b_builder.build()
+
+
+def test_deep_pair_forces_interior_cohorts():
+    """The deep generator actually produces level >= 2 interior epochs.
+
+    Guards test efficacy: traces must contain interior tasks two levels
+    up, and the batched engine must dispatch them through the cohort
+    path (zero scalar dispatches), otherwise the lockstep assertions
+    below would be vacuously passing on leaf-only work.
+    """
+    a, b = deep_pair(0)
+    trace = ExecutionTrace()
+    _reset_task_ids()
+    result = GammaSimulator(DEEP_CONFIG, trace=trace).run(a, b)
+    levels = {e.level for e in trace.events}
+    assert max(levels) >= 2, f"no deep trees (levels seen: {levels})"
+    assert result.dispatch["scalar"] == 0
+    assert result.dispatch["epoch"] == result.num_tasks
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS)
+@pytest.mark.parametrize("name,semiring", SEMIRINGS,
+                         ids=[name for name, _ in SEMIRINGS])
+@pytest.mark.parametrize("multi_pe", (True, False),
+                         ids=("multipe", "singlepe"))
+def test_lockstep_deep_trees(seed, name, semiring, multi_pe):
+    """Interior cohorts across semirings and scheduler modes."""
+    a, b = deep_pair(seed)
+    reference = ReferenceGammaSimulator(
+        DEEP_CONFIG, multi_pe_scheduling=multi_pe,
+        semiring=semiring).run(a, b)
+    batched = GammaSimulator(
+        DEEP_CONFIG, multi_pe_scheduling=multi_pe,
+        semiring=semiring).run(a, b)
+    assert_results_identical(reference, batched)
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:4])
+def test_lockstep_deep_partial_evictions(seed):
+    """Partial fibers spilled mid-cohort re-read from DRAM identically."""
+    a, b = deep_pair(seed)
+    reference = ReferenceGammaSimulator(DEEP_CONFIG).run(a, b)
+    batched = GammaSimulator(DEEP_CONFIG).run(a, b)
+    assert_results_identical(reference, batched)
+    # At 16 cache lines, deep trees must actually spill partials; a zero
+    # here means the config stopped exercising the consume-miss path.
+    assert reference.traffic_bytes["partial_read"] > 0
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:4])
+def test_lockstep_deep_single_pe(seed):
+    """One PE serializes every cohort dispatch through the same queue."""
+    config = GammaConfig(
+        num_pes=1, radix=2, fibercache_bytes=1024,
+        fibercache_ways=2, fibercache_banks=2,
+    )
+    a, b = deep_pair(seed)
+    for multi_pe in (True, False):
+        reference = ReferenceGammaSimulator(
+            config, multi_pe_scheduling=multi_pe).run(a, b)
+        batched = GammaSimulator(
+            config, multi_pe_scheduling=multi_pe).run(a, b)
+        assert_results_identical(reference, batched)
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:4])
+def test_lockstep_deep_trace(seed):
+    """Interior-epoch trace events match the reference field-for-field."""
+    a, b = deep_pair(seed)
+    traces = []
+    for cls in (ReferenceGammaSimulator, GammaSimulator):
+        trace = ExecutionTrace()
+        _reset_task_ids()
+        cls(DEEP_CONFIG, trace=trace).run(a, b)
+        traces.append([
+            (e.task_id, e.row, e.level, e.is_final, e.pe, e.start,
+             e.finish, e.busy_cycles, e.b_miss_lines,
+             e.partial_miss_lines)
+            for e in trace.events
+        ])
+    assert traces[0] == traces[1]
+    assert any(event[2] >= 2 for event in traces[0]), \
+        "trace must include level >= 2 interior tasks"
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:2])
+def test_lockstep_deep_keep_output_false(seed):
+    """Structure-only deep runs keep exact traffic and c_nnz."""
+    a, b = deep_pair(seed)
+    reference = ReferenceGammaSimulator(
+        DEEP_CONFIG, keep_output=False).run(a, b)
+    batched = GammaSimulator(DEEP_CONFIG, keep_output=False).run(a, b)
+    assert_results_identical(reference, batched)
