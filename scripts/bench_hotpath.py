@@ -339,6 +339,51 @@ def bench_deep_models(quick: bool) -> list:
     return results
 
 
+#: SpMV points: (matrix, operand shape). The ``gamma-spmv`` model runs
+#: the same epoch core on a 1-column operand, so these rows track the
+#: degenerate-workload path (tiny fibers, scheduler-dominated).
+SPMV_MODEL_POINTS = [
+    ("wiki-Vote", "sparse-vector"),
+    ("p2p-Gnutella31", "dense-vector"),
+]
+
+QUICK_SPMV_MODEL_POINTS = [
+    ("wiki-Vote", "sparse-vector"),
+]
+
+
+def bench_spmv_models(quick: bool) -> list:
+    """SpMV rows (``model-spmv/*``); older trees without the model skip
+    them (combine matches by name)."""
+    from repro.engine.defaults import scaled_gamma_config
+    from repro.matrices import suite
+
+    try:
+        from repro.baselines.spmv import run_gamma_spmv
+    except ImportError:  # baseline tree: SpGEMM-only
+        return []
+
+    config = scaled_gamma_config()
+    results = []
+    points = QUICK_SPMV_MODEL_POINTS if quick else SPMV_MODEL_POINTS
+    for matrix, operand in points:
+        a, b = suite.operands(matrix)
+        start = time.perf_counter()
+        result = run_gamma_spmv(a, b, config, operand=operand)
+        wall = time.perf_counter() - start
+        results.append({
+            "name": f"model-spmv/gamma-spmv/{matrix}/{operand}",
+            "kind": "model",
+            "wall_s": wall,
+            "items": result.num_tasks,
+            "items_per_s": result.num_tasks / wall if wall else None,
+            "detail": {"matrix": matrix, "operand": operand,
+                       "cycles": result.cycles,
+                       "tasks": result.num_tasks},
+        })
+    return results
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -359,6 +404,7 @@ def run_bench(label: str, quick: bool) -> dict:
     points.append(bench_combine(quick))
     points.extend(bench_models(quick))
     points.extend(bench_deep_models(quick))
+    points.extend(bench_spmv_models(quick))
     total = sum(p["wall_s"] for p in points)
     return {
         "schema_version": SCHEMA_VERSION,

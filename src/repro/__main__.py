@@ -93,8 +93,10 @@ def _cmd_sweep(args) -> int:
     models = [_apply_engine(model, args.engine) for model in models]
     variants = (args.variants.split(",") if args.variants
                 else list(DEFAULT_VARIANTS))
+    masks = args.masks.split(",") if args.masks else ["none"]
     try:
-        points = plan_sweep(matrices, models=models, variants=variants)
+        points = plan_sweep(matrices, models=models, variants=variants,
+                            masks=masks, operand=args.operand)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -234,7 +236,8 @@ def _cmd_profile(args) -> int:
     model = _apply_engine(args.model, args.engine)
     try:
         run = profile_point(args.matrix, model=model,
-                            variant=args.variant)
+                            variant=args.variant, mask=args.mask,
+                            operand=args.operand)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -342,6 +345,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated Gamma preprocessing variants "
              "(default: none,full)")
     sweep_parser.add_argument(
+        "--masks", metavar="M1,M2",
+        help="comma-separated mask modes for the Gamma SpGEMM points: "
+             "none, structural, complement (default: none); masked "
+             "points run C<M> = A*B with the deterministic default "
+             "mask and the plain row dataflow")
+    sweep_parser.add_argument(
+        "--operand", default="matrix",
+        choices=("matrix", "sparse-vector", "dense-vector"),
+        help="vector operand shape for gamma-spmv points "
+             "(default: matrix, which resolves to sparse-vector)")
+    sweep_parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: cpu count)")
     sweep_parser.add_argument(
@@ -396,6 +410,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile_parser.add_argument(
         "--variant", default="none",
         help="Gamma preprocessing variant (default: none)")
+    profile_parser.add_argument(
+        "--mask", default="none",
+        choices=("none", "structural", "complement"),
+        help="masked product C<M> = A*B with the deterministic default "
+             "mask (Gamma SpGEMM engines only; default: none)")
+    profile_parser.add_argument(
+        "--operand", default="matrix",
+        choices=("matrix", "sparse-vector", "dense-vector"),
+        help="vector operand shape for gamma-spmv (default: matrix)")
     profile_parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="also export the task event stream as JSONL")

@@ -3,11 +3,28 @@
 from repro.apps.apsp import all_pairs_shortest_paths
 from repro.apps.bfs import bfs_levels
 from repro.apps.chain import ChainCostReport, matrix_chain, matrix_power
+from repro.apps.masked import (
+    MASK_MODES,
+    apply_mask,
+    default_mask,
+    masked_b_operand,
+    masked_spgemm,
+    masked_spgemm_report,
+)
+from repro.apps.triangles import triangle_count, triangle_count_reference
 
 __all__ = [
     "ChainCostReport",
+    "MASK_MODES",
     "all_pairs_shortest_paths",
+    "apply_mask",
     "bfs_levels",
+    "default_mask",
+    "masked_b_operand",
+    "masked_spgemm",
+    "masked_spgemm_report",
     "matrix_chain",
     "matrix_power",
+    "triangle_count",
+    "triangle_count_reference",
 ]

@@ -111,7 +111,9 @@ def spgemm_hash(a: CsrMatrix, b: CsrMatrix) -> tuple:
                            touched_b_rows=touched)
 
 
-def spgemm_semiring(a: CsrMatrix, b: CsrMatrix, semiring) -> CsrMatrix:
+def spgemm_semiring(a: CsrMatrix, b: CsrMatrix, semiring,
+                    mask: CsrMatrix = None,
+                    complement: bool = False) -> CsrMatrix:
     """Gustavson SpGEMM over an arbitrary semiring (differential oracle).
 
     A direct dict-accumulator transliteration of C_ij = add_k
@@ -120,9 +122,20 @@ def spgemm_semiring(a: CsrMatrix, b: CsrMatrix, semiring) -> CsrMatrix:
     algebras. Every touched output coordinate is kept, even when the
     accumulated value lands on the semiring's zero — matching the
     hardware accumulator, which never re-sparsifies (Sec. 3.2).
+
+    With ``mask``, computes the GraphBLAS-style masked product
+    ``C<M> = A x B``: row ``i`` keeps only coordinates in the pattern of
+    ``mask`` row ``i`` (or, with ``complement=True``, only coordinates
+    *outside* it). The oracle deliberately filters the *full* product —
+    masked == unmasked-then-filtered is the defining identity every
+    execution model is tested against.
     """
     if a.num_cols != b.num_rows:
         raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if mask is not None and mask.shape != (a.num_rows, b.num_cols):
+        raise ValueError(
+            f"mask shape {mask.shape} does not match output "
+            f"{(a.num_rows, b.num_cols)}")
     add, mul = semiring.add, semiring.mul
     rows: List[Fiber] = []
     for row in range(a.num_rows):
@@ -138,6 +151,12 @@ def spgemm_semiring(a: CsrMatrix, b: CsrMatrix, semiring) -> CsrMatrix:
                     accumulator[col] = add(accumulator[col], product)
                 else:
                     accumulator[col] = product
+        if mask is not None:
+            allowed = set(mask.row(row).coords.tolist())
+            accumulator = {
+                col: value for col, value in accumulator.items()
+                if (col in allowed) != complement
+            }
         cols = np.asarray(sorted(accumulator), dtype=np.int64)
         rows.append(Fiber(
             cols,

@@ -28,14 +28,19 @@ from repro.engine.defaults import (
 )
 from repro.engine.record import RunRecord, derive_c_nnz
 from repro.engine.registry import (
+    CPU_MODELS,
+    GAMMA_MODELS,
     Model,
+    SIMULATOR_MODELS,
     available_models,
     default_config_for,
     get_model,
     register_model,
 )
 from repro.engine.sweep import (
+    DEFAULT_MASK,
     DEFAULT_MODELS,
+    DEFAULT_OPERAND,
     DEFAULT_SEMIRING,
     DEFAULT_VARIANTS,
     PointFailure,
@@ -55,9 +60,14 @@ from repro.engine.sweep import (
 )
 
 __all__ = [
+    "CPU_MODELS",
+    "DEFAULT_MASK",
     "DEFAULT_MODELS",
+    "DEFAULT_OPERAND",
     "DEFAULT_SEMIRING",
     "DEFAULT_VARIANTS",
+    "GAMMA_MODELS",
+    "SIMULATOR_MODELS",
     "PointFailure",
     "SweepPointError",
     "SweepPolicy",

@@ -76,7 +76,9 @@ def available_models() -> List[str]:
 
 def default_config_for(model: str) -> Union[GammaConfig, CpuConfig]:
     """The scaled experiment configuration a model runs under by default."""
-    return scaled_cpu_config() if model == "mkl" else scaled_gamma_config()
+    if model in CPU_MODELS:
+        return scaled_cpu_config()
+    return scaled_gamma_config()
 
 
 # ----------------------------------------------------------------------
@@ -103,34 +105,60 @@ class GammaModel:
         from repro.core import GammaSimulator
         return GammaSimulator
 
+    @staticmethod
+    def _resolve_semiring(semiring):
+        # 'arithmetic' maps to None (the simulator's default) so the
+        # serving tier's semiring parameter changes nothing for the
+        # sweep/figure paths that never set it.
+        if isinstance(semiring, str):
+            if semiring == "arithmetic":
+                return None
+            from repro.semiring import by_name
+            return by_name(semiring)
+        return semiring
+
     def run(self, a: CsrMatrix, b: CsrMatrix,
             config: Optional[GammaConfig] = None, *,
             matrix: str = "", variant: str = "none",
             multi_pe: bool = True, program=None,
-            semiring="arithmetic",
+            semiring="arithmetic", mask: str = "none",
             collect_metrics: bool = False, trace=None,
             **_ignored) -> RunRecord:
         from repro.preprocessing import preprocess
 
         config = config or scaled_gamma_config()
-        if program is None:
-            options = preprocess_options(variant)
-            if options is not None:
-                program = preprocess(a, b, config, options)
         metrics = None
         if collect_metrics:
             from repro.obs import MetricsRegistry
             metrics = MetricsRegistry()
-        # 'arithmetic' maps to None (the simulator's default) so the
-        # serving tier's semiring parameter changes nothing for the
-        # sweep/figure paths that never set it.
-        semiring_obj = semiring
-        if isinstance(semiring, str):
-            if semiring == "arithmetic":
-                semiring_obj = None
-            else:
-                from repro.semiring import by_name
-                semiring_obj = by_name(semiring)
+        semiring_obj = self._resolve_semiring(semiring)
+        if mask != "none":
+            # Masked products narrow the B operand, so any preprocessed
+            # program built for the full B would be stale — masked
+            # points always run the plain row dataflow.
+            from repro.apps.masked import MASK_MODES, default_mask, \
+                masked_spgemm
+            if mask not in MASK_MODES:
+                raise ValueError(
+                    f"unknown mask mode {mask!r}; known: {MASK_MODES}")
+            if variant != "none" or program is not None:
+                raise ValueError(
+                    "masked runs do not compose with preprocessing "
+                    f"variants (got variant={variant!r})")
+            result = masked_spgemm(
+                a, b, default_mask(a, b),
+                complement=(mask == "complement"),
+                semiring=semiring_obj, config=config,
+                simulator_cls=self._simulator_class(),
+                multi_pe=multi_pe, keep_output=False,
+                trace=trace, metrics=metrics)
+            return RunRecord.from_simulation(
+                result, model=self.registry_name, matrix=matrix,
+                variant=variant, multi_pe=multi_pe)
+        if program is None:
+            options = preprocess_options(variant)
+            if options is not None:
+                program = preprocess(a, b, config, options)
         sim = self._simulator_class()(
             config, multi_pe_scheduling=multi_pe, semiring=semiring_obj,
             keep_output=False, trace=trace, metrics=metrics)
@@ -153,6 +181,49 @@ class GammaReferenceModel(GammaModel):
         return ReferenceGammaSimulator
 
 
+@register_model("gamma-spmv")
+class GammaSpmvModel(GammaModel):
+    """GUST-style SpMV on the Gamma core (``y = A x``).
+
+    Reuses the epoch-batched simulator on the operand collapsed to a
+    ``k x 1`` vector (see :mod:`repro.baselines.spmv`); the ``operand``
+    keyword selects the vector shape (``sparse-vector`` spMspV vs
+    ``dense-vector`` classic SpMV; the cross-model default ``matrix``
+    resolves to sparse). Preprocessing variants and masks target the
+    SpGEMM operand structure and do not apply here.
+    """
+
+    registry_name = "gamma-spmv"
+
+    def run(self, a: CsrMatrix, b: CsrMatrix,
+            config: Optional[GammaConfig] = None, *,
+            matrix: str = "", variant: str = "none",
+            multi_pe: bool = True, operand: str = "matrix",
+            semiring="arithmetic",
+            collect_metrics: bool = False, trace=None,
+            **_ignored) -> RunRecord:
+        from repro.baselines.spmv import run_gamma_spmv
+
+        config = config or scaled_gamma_config()
+        if variant != "none":
+            raise ValueError(
+                "gamma-spmv does not take preprocessing variants "
+                f"(got variant={variant!r})")
+        metrics = None
+        if collect_metrics:
+            from repro.obs import MetricsRegistry
+            metrics = MetricsRegistry()
+        result = run_gamma_spmv(
+            a, b, config, operand=operand,
+            semiring=self._resolve_semiring(semiring),
+            multi_pe=multi_pe, keep_output=False,
+            trace=trace, metrics=metrics,
+            simulator_cls=self._simulator_class())
+        return RunRecord.from_simulation(
+            result, model=self.registry_name, matrix=matrix,
+            variant=variant, multi_pe=multi_pe)
+
+
 #: Gamma engine selector: CLI ``--engine`` choice -> registry model name.
 GAMMA_ENGINES = {"batched": "gamma", "ref": "gamma-ref"}
 
@@ -160,6 +231,16 @@ GAMMA_ENGINES = {"batched": "gamma", "ref": "gamma-ref"}
 #: sweep engine treats these alike for record keying, program caching,
 #: and c_nnz bootstrapping.
 GAMMA_MODELS = frozenset(GAMMA_ENGINES.values())
+
+#: Every model backed by the cycle-level simulator — the SpGEMM engines
+#: plus the SpMV degeneration. These compute their own exact c_nnz and
+#: accept semiring overrides; the sweep engine collects metrics and
+#: skips the c_nnz-bootstrap prerequisite for them.
+SIMULATOR_MODELS = GAMMA_MODELS | {"gamma-spmv"}
+
+#: CPU platform models (roofline over the Gustavson kernel) — these run
+#: under the scaled CpuConfig rather than a Gamma system config.
+CPU_MODELS = frozenset({"mkl", "sparsezipper", "rvv"})
 
 
 # ----------------------------------------------------------------------
@@ -236,6 +317,34 @@ class MklModel(_BaselineModel):
     def _run_fn(self):
         from repro.baselines import run_mkl_model
         return run_mkl_model
+
+    def _default_config(self):
+        return scaled_cpu_config()
+
+
+@register_model("sparsezipper")
+class SparseZipperModel(_BaselineModel):
+    """CPU with SparseZipper stream-merge matrix extensions."""
+
+    registry_name = "sparsezipper"
+
+    def _run_fn(self):
+        from repro.baselines import run_sparsezipper_model
+        return run_sparsezipper_model
+
+    def _default_config(self):
+        return scaled_cpu_config()
+
+
+@register_model("rvv")
+class RvvModel(_BaselineModel):
+    """CPU running the vectorized SPA kernel on a RISC-V vector unit."""
+
+    registry_name = "rvv"
+
+    def _run_fn(self):
+        from repro.baselines import run_rvv_model
+        return run_rvv_model
 
     def _default_config(self):
         return scaled_cpu_config()

@@ -81,8 +81,9 @@ from repro.engine.record import (
     _config_from_payload,
     _config_payload,
 )
-from repro.engine.registry import (GAMMA_MODELS, available_models,
-                                   default_config_for, get_model)
+from repro.engine.registry import (GAMMA_MODELS, SIMULATOR_MODELS,
+                                   available_models, default_config_for,
+                                   get_model)
 from repro.obs import spans
 
 #: Environment flag that tells workers to attach a MetricsRegistry to
@@ -104,6 +105,15 @@ DEFAULT_VARIANTS = ("none", "full")
 #: separately (see :func:`record_key`).
 DEFAULT_SEMIRING = "arithmetic"
 
+#: The mask mode every sweep/figure point runs under; masked products
+#: (:mod:`repro.apps.masked`) key their cache entries separately.
+DEFAULT_MASK = "none"
+
+#: The operand shape axis default: SpGEMM models take B as-is, and
+#: ``gamma-spmv`` resolves it to its natural ``sparse-vector`` shape
+#: (see :mod:`repro.baselines.spmv`).
+DEFAULT_OPERAND = "matrix"
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -111,9 +121,14 @@ class SweepPoint:
 
     ``config=None`` means the model's scaled experiment default; carrying
     the resolved config explicitly would bloat keys without changing
-    results. ``variant``, ``multi_pe``, and ``semiring`` only affect
-    Gamma; ``semiring`` names a :data:`repro.semiring.STANDARD_SEMIRINGS`
-    entry (the job server exposes it — sweeps always run the default).
+    results. ``variant``, ``multi_pe``, ``semiring``, and ``mask`` only
+    affect the simulator models; ``semiring`` names a
+    :data:`repro.semiring.STANDARD_SEMIRINGS` entry (the job server
+    exposes it — sweeps always run the default), ``mask`` a
+    :data:`repro.apps.masked.MASK_MODES` mode (the Gamma SpGEMM engines
+    only), and ``operand`` a
+    :data:`repro.baselines.spmv.OPERAND_SHAPES` vector shape
+    (``gamma-spmv`` only).
     """
 
     model: str
@@ -122,6 +137,8 @@ class SweepPoint:
     config: Union[GammaConfig, CpuConfig, None] = None
     multi_pe: bool = True
     semiring: str = DEFAULT_SEMIRING
+    mask: str = DEFAULT_MASK
+    operand: str = DEFAULT_OPERAND
 
     def resolved_config(self) -> Union[GammaConfig, CpuConfig]:
         return self.config or default_config_for(self.model)
@@ -131,17 +148,22 @@ class SweepPoint:
         text = f"{self.model}:{self.matrix}"
         if self.model in GAMMA_MODELS:
             text += f":{self.variant}"
+        if self.model in SIMULATOR_MODELS:
             if self.semiring != DEFAULT_SEMIRING:
                 text += f":{self.semiring}"
+        if self.model in GAMMA_MODELS and self.mask != DEFAULT_MASK:
+            text += f":mask-{self.mask}"
+        if self.model == "gamma-spmv" and self.operand != DEFAULT_OPERAND:
+            text += f":{self.operand}"
         return text
 
 
 def record_key(point: SweepPoint) -> str:
     """The disk-cache key of a point's :class:`RunRecord`.
 
-    The semiring participates only when it is not the default, so every
-    pre-existing cache entry (all keyed before the field existed) stays
-    addressable.
+    The semiring, mask, and operand axes participate only when they are
+    not the default, so every pre-existing cache entry (all keyed before
+    the fields existed) stays addressable.
     """
     config = point.resolved_config()
     params = dict(
@@ -150,10 +172,16 @@ def record_key(point: SweepPoint) -> str:
         variant=point.variant if point.model in GAMMA_MODELS else "",
         config=dataclasses.asdict(config),
         config_kind=type(config).__name__,
-        multi_pe=point.multi_pe if point.model in GAMMA_MODELS else True,
+        multi_pe=(point.multi_pe if point.model in SIMULATOR_MODELS
+                  else True),
     )
-    if point.model in GAMMA_MODELS and point.semiring != DEFAULT_SEMIRING:
+    if (point.model in SIMULATOR_MODELS
+            and point.semiring != DEFAULT_SEMIRING):
         params["semiring"] = point.semiring
+    if point.model in GAMMA_MODELS and point.mask != DEFAULT_MASK:
+        params["mask"] = point.mask
+    if point.model == "gamma-spmv" and point.operand != DEFAULT_OPERAND:
+        params["operand"] = point.operand
     return diskcache.cache_key("record", **params)
 
 
@@ -166,6 +194,8 @@ def point_to_payload(point: SweepPoint) -> Dict:
         "config": _config_payload(point.config),
         "multi_pe": point.multi_pe,
         "semiring": point.semiring,
+        "mask": point.mask,
+        "operand": point.operand,
     }
 
 
@@ -177,6 +207,8 @@ def point_from_payload(payload: Dict) -> SweepPoint:
         config=_config_from_payload(payload.get("config")),
         multi_pe=payload.get("multi_pe", True),
         semiring=payload.get("semiring", DEFAULT_SEMIRING),
+        mask=payload.get("mask", DEFAULT_MASK),
+        operand=payload.get("operand", DEFAULT_OPERAND),
     )
 
 
@@ -378,7 +410,7 @@ def execute_point(point: SweepPoint,
     """
     if collect_metrics is None:
         collect_metrics = metrics_requested()
-    want_metrics = collect_metrics and point.model in GAMMA_MODELS
+    want_metrics = collect_metrics and point.model in SIMULATOR_MODELS
     key = record_key(point)
     payload = diskcache.load(key)
     if payload is not None:
@@ -397,12 +429,19 @@ def execute_point(point: SweepPoint,
     config = point.resolved_config()
     model = get_model(point.model)
     if point.model in GAMMA_MODELS:
-        program = cached_program(point.matrix, point.variant, config)
+        program = None
+        if point.mask == DEFAULT_MASK:
+            program = cached_program(point.matrix, point.variant, config)
         record = model.run(
             a, b, config, matrix=point.matrix, variant=point.variant,
             multi_pe=point.multi_pe, program=program,
-            semiring=point.semiring,
+            semiring=point.semiring, mask=point.mask,
             collect_metrics=want_metrics)
+    elif point.model in SIMULATOR_MODELS:  # gamma-spmv
+        record = model.run(
+            a, b, config, matrix=point.matrix, variant=point.variant,
+            multi_pe=point.multi_pe, semiring=point.semiring,
+            operand=point.operand, collect_metrics=want_metrics)
     else:
         c_nnz = execute_point(SweepPoint("gamma", point.matrix)).c_nnz
         record = model.run(a, b, config, matrix=point.matrix, c_nnz=c_nnz)
@@ -425,13 +464,23 @@ def plan_sweep(
     variants: Sequence[str] = DEFAULT_VARIANTS,
     configs: Optional[Sequence[GammaConfig]] = None,
     multi_pe: bool = True,
+    masks: Sequence[str] = (DEFAULT_MASK,),
+    operand: str = DEFAULT_OPERAND,
 ) -> List[SweepPoint]:
     """Enumerate the (model, matrix, variant, config) cross-product.
 
-    Gamma points expand over ``variants`` and ``configs`` (``None`` =
-    scaled default only); baseline points get one evaluation per matrix
-    under their default config, matching what the figures consume.
+    Gamma points expand over ``variants``, ``configs`` (``None`` =
+    scaled default only), and ``masks``; masked points always run the
+    plain row dataflow (preprocessing programs are built for the full B
+    operand, which the mask narrows), so they do not expand over
+    ``variants``. ``gamma-spmv`` points expand over ``configs`` and take
+    the ``operand`` vector shape; the remaining baseline points get one
+    evaluation per matrix under their default config, matching what the
+    figures consume.
     """
+    from repro.apps.masked import MASK_MODES
+    from repro.baselines.spmv import OPERAND_SHAPES
+
     for model in models:
         if model not in available_models():
             raise ValueError(
@@ -441,15 +490,34 @@ def plan_sweep(
             raise ValueError(
                 f"unknown preprocessing variant {variant!r}; "
                 f"known: {PREPROCESS_VARIANTS}")
+    for mask in masks:
+        if mask not in MASK_MODES:
+            raise ValueError(
+                f"unknown mask mode {mask!r}; known: {MASK_MODES}")
+    if operand not in OPERAND_SHAPES:
+        raise ValueError(
+            f"unknown operand shape {operand!r}; known: {OPERAND_SHAPES}")
     points: List[SweepPoint] = []
     gamma_configs: Sequence[Optional[GammaConfig]] = configs or [None]
     for matrix in matrices:
         for model in models:
             if model in GAMMA_MODELS:
                 for config in gamma_configs:
-                    for variant in variants:
-                        points.append(SweepPoint(
-                            model, matrix, variant, config, multi_pe))
+                    for mask in masks:
+                        if mask == DEFAULT_MASK:
+                            for variant in variants:
+                                points.append(SweepPoint(
+                                    model, matrix, variant, config,
+                                    multi_pe))
+                        else:
+                            points.append(SweepPoint(
+                                model, matrix, "none", config, multi_pe,
+                                mask=mask))
+            elif model in SIMULATOR_MODELS:  # gamma-spmv
+                for config in gamma_configs:
+                    points.append(SweepPoint(
+                        model, matrix, "none", config, multi_pe,
+                        operand=operand))
             else:
                 points.append(SweepPoint(model, matrix, ""))
     return points
@@ -615,7 +683,7 @@ def run_sweep(
     prerequisites = [
         p for p in dict.fromkeys(
             SweepPoint("gamma", q.matrix)
-            for q in pending if q.model not in GAMMA_MODELS)
+            for q in pending if q.model not in SIMULATOR_MODELS)
         if p not in result.quarantined
     ]
 

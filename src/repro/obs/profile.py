@@ -34,22 +34,30 @@ class ProfileRun:
 
 def profile_point(matrix: str, model: str = "gamma",
                   variant: str = "none", config=None,
-                  multi_pe: bool = True) -> ProfileRun:
+                  multi_pe: bool = True, mask: str = "none",
+                  operand: str = "matrix") -> ProfileRun:
     """Run one point with metrics + tracing attached.
 
-    Only the Gamma simulator publishes metrics; baseline models accept
+    Only the simulator models publish metrics; baseline models accept
     and ignore the instrumentation kwargs, so profiling one still yields
-    the record (and an empty trace) with a reduced report.
+    the record (and an empty trace) with a reduced report. ``mask``
+    selects a masked product for the Gamma SpGEMM engines; ``operand``
+    the vector shape for ``gamma-spmv`` (each ignored elsewhere).
     """
-    from repro.engine.registry import get_model
+    from repro.engine.registry import GAMMA_MODELS, get_model
     from repro.matrices import suite
 
     a, b = suite.operands(matrix)
     trace = ExecutionTrace()
+    extra = {}
+    if model in GAMMA_MODELS:
+        extra["mask"] = mask
+    elif model == "gamma-spmv":
+        extra["operand"] = operand
     start = time.perf_counter()
     record = get_model(model).run(
         a, b, config, matrix=matrix, variant=variant, multi_pe=multi_pe,
-        collect_metrics=True, trace=trace)
+        collect_metrics=True, trace=trace, **extra)
     wall = time.perf_counter() - start
     if model == "gamma":
         # Instrumentation forces the batched engine onto its scalar
@@ -59,7 +67,7 @@ def profile_point(matrix: str, model: str = "gamma",
         # see, and graft it onto the instrumented record.
         production = get_model(model).run(
             a, b, config, matrix=matrix, variant=variant,
-            multi_pe=multi_pe)
+            multi_pe=multi_pe, **extra)
         if production.dispatch is not None:
             record = dataclasses.replace(
                 record, dispatch=production.dispatch)

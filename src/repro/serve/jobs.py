@@ -22,8 +22,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.config import CpuConfig, GammaConfig
-from repro.engine.registry import GAMMA_MODELS, available_models
-from repro.engine.sweep import DEFAULT_SEMIRING, SweepPoint, record_key
+from repro.engine.registry import (GAMMA_MODELS, SIMULATOR_MODELS,
+                                   available_models)
+from repro.engine.sweep import (DEFAULT_MASK, DEFAULT_OPERAND,
+                                DEFAULT_SEMIRING, SweepPoint, record_key)
 
 #: Job lifecycle states. ``queued`` covers admission through waiting for
 #: a worker; ``running`` an execution in flight; ``done``/``error`` are
@@ -69,11 +71,15 @@ class JobSpec:
     semiring: str = DEFAULT_SEMIRING
     multi_pe: bool = True
     config: Any = None  # GammaConfig | CpuConfig | None
+    mask: str = DEFAULT_MASK
+    operand: str = DEFAULT_OPERAND
 
     @classmethod
     def from_payload(cls, payload: Any) -> "JobSpec":
         """Parse and validate a request body; raises
         :class:`JobValidationError` with a client-actionable message."""
+        from repro.apps.masked import MASK_MODES
+        from repro.baselines.spmv import OPERAND_SHAPES
         from repro.engine.defaults import PREPROCESS_VARIANTS
         from repro.matrices import suite
         from repro.semiring import STANDARD_SEMIRINGS
@@ -81,7 +87,7 @@ class JobSpec:
         if not isinstance(payload, dict):
             raise JobValidationError("request body must be a JSON object")
         allowed = {"matrix", "model", "variant", "semiring",
-                   "multi_pe", "config"}
+                   "multi_pe", "config", "mask", "operand"}
         unknown = sorted(set(payload) - allowed)
         if unknown:
             raise JobValidationError(
@@ -100,38 +106,60 @@ class JobSpec:
         variant = payload.get("variant", "none")
         semiring = payload.get("semiring", DEFAULT_SEMIRING)
         multi_pe = payload.get("multi_pe", True)
+        mask = payload.get("mask", DEFAULT_MASK)
+        operand = payload.get("operand", DEFAULT_OPERAND)
         if not isinstance(multi_pe, bool):
             raise JobValidationError("'multi_pe' must be a boolean")
+        if model in SIMULATOR_MODELS:
+            if semiring not in STANDARD_SEMIRINGS:
+                raise JobValidationError(
+                    f"unknown semiring {semiring!r}; "
+                    f"known: {sorted(STANDARD_SEMIRINGS)}")
+        elif semiring != DEFAULT_SEMIRING:
+            raise JobValidationError(
+                f"model {model!r} only serves the "
+                f"{DEFAULT_SEMIRING!r} semiring")
         if model in GAMMA_MODELS:
             if variant not in PREPROCESS_VARIANTS:
                 raise JobValidationError(
                     f"unknown preprocessing variant {variant!r}; "
                     f"known: {PREPROCESS_VARIANTS}")
-            if semiring not in STANDARD_SEMIRINGS:
+            if mask not in MASK_MODES:
                 raise JobValidationError(
-                    f"unknown semiring {semiring!r}; "
-                    f"known: {sorted(STANDARD_SEMIRINGS)}")
+                    f"unknown mask mode {mask!r}; known: {MASK_MODES}")
+            if mask != DEFAULT_MASK and variant not in ("none", ""):
+                raise JobValidationError(
+                    "masked jobs do not compose with preprocessing "
+                    "variants; use variant 'none'")
         else:
             if variant not in ("none", ""):
                 raise JobValidationError(
                     f"model {model!r} takes no preprocessing variant")
-            if semiring != DEFAULT_SEMIRING:
+            if mask != DEFAULT_MASK:
                 raise JobValidationError(
-                    f"model {model!r} only serves the "
-                    f"{DEFAULT_SEMIRING!r} semiring")
-            variant = ""
+                    f"model {model!r} does not take a mask")
+            variant = "none" if model in SIMULATOR_MODELS else ""
+        if model == "gamma-spmv":
+            if operand not in OPERAND_SHAPES:
+                raise JobValidationError(
+                    f"unknown operand shape {operand!r}; "
+                    f"known: {OPERAND_SHAPES}")
+        elif operand != DEFAULT_OPERAND:
+            raise JobValidationError(
+                f"model {model!r} does not take an operand shape")
         config = None
         if payload.get("config") is not None:
             config = _validate_config_overrides(model, payload["config"])
         return cls(matrix=matrix, model=model, variant=variant,
-                   semiring=semiring, multi_pe=multi_pe, config=config)
+                   semiring=semiring, multi_pe=multi_pe, config=config,
+                   mask=mask, operand=operand)
 
     def to_point(self) -> SweepPoint:
         return SweepPoint(
             model=self.model, matrix=self.matrix,
-            variant=self.variant if self.model in GAMMA_MODELS else "",
+            variant=self.variant if self.model in SIMULATOR_MODELS else "",
             config=self.config, multi_pe=self.multi_pe,
-            semiring=self.semiring)
+            semiring=self.semiring, mask=self.mask, operand=self.operand)
 
     def key(self) -> str:
         """The store/coalescing/disk-cache key of this spec's result."""
@@ -144,6 +172,8 @@ class JobSpec:
             "variant": self.variant,
             "semiring": self.semiring,
             "multi_pe": self.multi_pe,
+            "mask": self.mask,
+            "operand": self.operand,
         }
         if self.config is not None:
             kind = ("cpu" if isinstance(self.config, CpuConfig)
@@ -166,7 +196,9 @@ class JobSpec:
                    variant=payload["variant"],
                    semiring=payload.get("semiring", DEFAULT_SEMIRING),
                    multi_pe=payload.get("multi_pe", True),
-                   config=config)
+                   config=config,
+                   mask=payload.get("mask", DEFAULT_MASK),
+                   operand=payload.get("operand", DEFAULT_OPERAND))
 
 
 @dataclass

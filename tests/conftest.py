@@ -1,4 +1,4 @@
-"""Shared test harness: per-test wall-clock ceilings.
+"""Shared test harness: wall-clock ceilings and graph fixtures.
 
 CI installs ``pytest-timeout`` and this conftest defaults its ceiling
 per test; minimal environments without the plugin get a SIGALRM
@@ -8,16 +8,60 @@ sweep worker) fails loudly instead of wedging the whole run.
 Ceilings: ``@pytest.mark.timeout(N)`` wins; ``slow``-marked tests (the
 randomized differential tails) get a long leash; everything else gets
 the default.
+
+The graph helpers (``random_graph``/``random_weighted_graph`` and the
+seeded fixtures built on them) are shared by the app suites
+(``test_apps.py``, ``test_masked_apps.py``) so BFS, APSP, masked
+SpGEMM, and triangle counting all exercise the same adjacency shapes.
 """
 
 import importlib.util
 import signal
 import threading
 
+import numpy as np
 import pytest
 
 DEFAULT_TIMEOUT_SECONDS = 120.0
 SLOW_TIMEOUT_SECONDS = 600.0
+
+
+# ----------------------------------------------------------------------
+# Shared graph builders (app suites)
+# ----------------------------------------------------------------------
+def random_graph(n, npr, seed, symmetric=False):
+    """A seeded boolean adjacency matrix with no self-loops."""
+    from repro.matrices import generators
+    from repro.matrices.csr import CsrMatrix
+
+    base = generators.uniform_random(n, n, npr, seed=seed)
+    dense = (base.to_dense() > 0).astype(float)
+    np.fill_diagonal(dense, 0.0)
+    if symmetric:
+        dense = np.maximum(dense, dense.T)
+    return CsrMatrix.from_dense(dense)
+
+
+def random_weighted_graph(n, seed, density=0.2):
+    """A seeded positively-weighted adjacency matrix (APSP-style)."""
+    from repro.matrices.csr import CsrMatrix
+
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(1.0, 5.0, (n, n)) * (rng.random((n, n)) < density)
+    np.fill_diagonal(dense, 0.0)
+    return CsrMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def directed_graph():
+    """A 40-vertex directed adjacency matrix, fixed seed."""
+    return random_graph(40, 3.0, seed=3)
+
+
+@pytest.fixture
+def undirected_graph():
+    """A 60-vertex symmetric adjacency matrix, fixed seed."""
+    return random_graph(60, 3.0, seed=1, symmetric=True)
 
 _HAVE_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
 

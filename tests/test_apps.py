@@ -1,8 +1,13 @@
-"""Tests for the spMspM applications: BFS, APSP, matrix chains."""
+"""Tests for the spMspM applications: BFS, APSP, matrix chains.
+
+Graph builders (``random_graph``, ``random_weighted_graph``) live in
+``conftest.py`` and are shared with the masked-app suite.
+"""
 
 import numpy as np
 import pytest
 
+from tests.conftest import random_graph, random_weighted_graph
 from repro.apps import (
     all_pairs_shortest_paths,
     bfs_levels,
@@ -16,21 +21,11 @@ from repro.matrices import generators
 from repro.matrices.csr import CsrMatrix
 
 
-def random_graph(n, npr, seed, symmetric=False):
-    base = generators.uniform_random(n, n, npr, seed=seed)
-    dense = (base.to_dense() > 0).astype(float)
-    np.fill_diagonal(dense, 0.0)
-    if symmetric:
-        dense = np.maximum(dense, dense.T)
-    return CsrMatrix.from_dense(dense)
-
-
 class TestBfs:
-    def test_matches_reference_single_source(self):
-        adj = random_graph(60, 3.0, seed=1, symmetric=True)
-        result = bfs_levels(adj, [0])
+    def test_matches_reference_single_source(self, undirected_graph):
+        result = bfs_levels(undirected_graph, [0])
         np.testing.assert_array_equal(
-            result["levels"][0], bfs_reference(adj, 0))
+            result["levels"][0], bfs_reference(undirected_graph, 0))
 
     def test_multi_source(self):
         adj = random_graph(50, 3.0, seed=2, symmetric=True)
@@ -40,9 +35,8 @@ class TestBfs:
             np.testing.assert_array_equal(
                 result["levels"][i], bfs_reference(adj, source))
 
-    def test_reports_accelerator_cost(self):
-        adj = random_graph(40, 3.0, seed=3)
-        result = bfs_levels(adj, [0])
+    def test_reports_accelerator_cost(self, directed_graph):
+        result = bfs_levels(directed_graph, [0])
         assert result["iterations"] >= 1
         assert result["total_cycles"] > 0
         assert result["total_traffic"] > 0
@@ -63,14 +57,8 @@ class TestBfs:
 
 
 class TestApsp:
-    def _weights(self, n, seed):
-        rng = np.random.default_rng(seed)
-        dense = rng.uniform(1.0, 5.0, (n, n)) * (rng.random((n, n)) < 0.2)
-        np.fill_diagonal(dense, 0.0)
-        return CsrMatrix.from_dense(dense)
-
     def test_matches_floyd_warshall(self):
-        weights = self._weights(25, seed=7)
+        weights = random_weighted_graph(25, seed=7)
         result = all_pairs_shortest_paths(
             weights, GammaConfig(radix=8))
         np.testing.assert_allclose(
@@ -86,7 +74,7 @@ class TestApsp:
         assert np.isinf(result["distances"][0, 3])
 
     def test_logarithmic_iterations(self):
-        weights = self._weights(30, seed=8)
+        weights = random_weighted_graph(30, seed=8)
         result = all_pairs_shortest_paths(weights)
         assert result["iterations"] <= int(np.ceil(np.log2(30))) + 1
 

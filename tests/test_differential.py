@@ -11,14 +11,18 @@ The first dozen seeds run everywhere; the rest ride the ``slow`` marker.
 import numpy as np
 import pytest
 
+from repro.apps.masked import apply_mask, masked_spgemm
+from repro.baselines.rvv import rvv_spgemm
+from repro.baselines.sparsezipper import zipper_spgemm
 from repro.baselines.spgemm_ref import (
     spgemm_hash,
     spgemm_semiring,
     spgemm_spa,
 )
 from repro.config import GammaConfig
-from repro.core import GammaSimulator
+from repro.core import GammaSimulator, ReferenceGammaSimulator
 from repro.matrices.builder import CooBuilder
+from repro.matrices.csr import CsrMatrix
 from repro.semiring import ARITHMETIC, BOOLEAN, TROPICAL_MIN
 
 #: Small enough that random 25-dim operands actually stress eviction,
@@ -120,6 +124,87 @@ class TestDifferentialSemirings:
         assert_same_matrix(
             simulate(a, b, semiring=TROPICAL_MIN),
             spgemm_semiring(a, b, TROPICAL_MIN), exact=True)
+
+
+SEMIRINGS = pytest.mark.parametrize(
+    "semiring", [ARITHMETIC, BOOLEAN, TROPICAL_MIN],
+    ids=["arithmetic", "boolean", "tropical"])
+
+MASK_KINDS = pytest.mark.parametrize("complement", [False, True],
+                                     ids=["structural", "complement"])
+
+
+def random_mask(seed, num_rows, num_cols):
+    """A seeded random mask pattern over the output shape.
+
+    Densities span nearly-empty to nearly-full so the structural and
+    complemented filters each get both aggressive and trivial masks.
+    """
+    rng = np.random.default_rng(seed + 7919)
+    density = float(rng.choice([0.0, 0.1, 0.3, 0.7, 1.0]))
+    pattern = rng.random((num_rows, num_cols)) < density
+    return CsrMatrix.from_dense(pattern.astype(float))
+
+
+class TestMaskedDifferential:
+    """C<M> = A x B on every execution model vs the filtered oracle."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @SEMIRINGS
+    @MASK_KINDS
+    def test_simulator_matches_oracle(self, seed, semiring, complement):
+        a, b = random_pair(seed)
+        mask = random_mask(seed, a.num_rows, b.num_cols)
+        expected = spgemm_semiring(a, b, semiring, mask=mask,
+                                   complement=complement)
+        result = masked_spgemm(a, b, mask, complement=complement,
+                               semiring=semiring, config=SMALL_CONFIG)
+        assert_same_matrix(result.output, expected,
+                           exact=semiring is not ARITHMETIC)
+        assert result.c_nnz == expected.nnz
+        assert all(v >= 0 for v in result.traffic_bytes.values())
+
+    @pytest.mark.parametrize("seed", range(QUICK))
+    @SEMIRINGS
+    @MASK_KINDS
+    def test_reference_engine_matches_oracle(self, seed, semiring,
+                                             complement):
+        a, b = random_pair(seed)
+        mask = random_mask(seed, a.num_rows, b.num_cols)
+        expected = spgemm_semiring(a, b, semiring, mask=mask,
+                                   complement=complement)
+        result = masked_spgemm(a, b, mask, complement=complement,
+                               semiring=semiring, config=SMALL_CONFIG,
+                               simulator_cls=ReferenceGammaSimulator)
+        assert_same_matrix(result.output, expected,
+                           exact=semiring is not ARITHMETIC)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @SEMIRINGS
+    @MASK_KINDS
+    def test_cpu_kernels_bit_exact(self, seed, semiring, complement):
+        # The zipper merge-fold and the SPA walk both apply add() in
+        # A-column order per output coordinate — the oracle's exact
+        # association order — so even arithmetic results are
+        # bit-identical, not merely close.
+        a, b = random_pair(seed)
+        mask = random_mask(seed, a.num_rows, b.num_cols)
+        expected = spgemm_semiring(a, b, semiring, mask=mask,
+                                   complement=complement)
+        for kernel in (zipper_spgemm, rvv_spgemm):
+            filtered = apply_mask(kernel(a, b, semiring), mask,
+                                  complement=complement)
+            assert_same_matrix(filtered, expected, exact=True)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @SEMIRINGS
+    def test_unmasked_cpu_kernels_bit_exact(self, seed, semiring):
+        a, b = random_pair(seed)
+        expected = spgemm_semiring(a, b, semiring)
+        assert_same_matrix(zipper_spgemm(a, b, semiring), expected,
+                           exact=True)
+        assert_same_matrix(rvv_spgemm(a, b, semiring), expected,
+                           exact=True)
 
 
 class TestDifferentialStructure:

@@ -1,0 +1,171 @@
+"""Tests for the masked SpGEMM app layer and triangle counting.
+
+Graph fixtures come from ``conftest.py`` and are shared with
+``test_apps.py`` — masked kernels see the same adjacency shapes BFS and
+APSP run on.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_graph
+from repro.apps import (
+    MASK_MODES,
+    apply_mask,
+    default_mask,
+    masked_b_operand,
+    masked_spgemm,
+    masked_spgemm_report,
+    triangle_count,
+    triangle_count_reference,
+)
+from repro.baselines.spgemm_ref import spgemm_semiring
+from repro.config import GammaConfig
+from repro.core import GammaSimulator
+from repro.matrices import generators
+from repro.matrices.csr import CsrMatrix
+from repro.semiring import ARITHMETIC
+
+SMALL_CONFIG = GammaConfig(
+    num_pes=4, radix=4, fibercache_bytes=4 * 1024,
+    fibercache_ways=4, fibercache_banks=4,
+)
+
+
+def sparse_mask(shape, seed, density=0.15):
+    rng = np.random.default_rng(seed)
+    pattern = rng.random(shape) < density
+    return CsrMatrix.from_dense(pattern.astype(float))
+
+
+def empty_mask(shape):
+    return CsrMatrix.from_dense(np.zeros(shape))
+
+
+class TestMaskHelpers:
+    def test_mask_modes(self):
+        assert MASK_MODES == ("none", "structural", "complement")
+
+    def test_default_mask_square_self_product_is_own_pattern(self):
+        a = random_graph(30, 3.0, seed=21)
+        mask = default_mask(a, a)
+        assert mask.coords.tolist() == a.coords.tolist()
+        assert mask.offsets.tolist() == a.offsets.tolist()
+
+    def test_apply_mask_structural_subset(self):
+        a = random_graph(20, 3.0, seed=22)
+        mask = sparse_mask(a.shape, seed=23)
+        filtered = apply_mask(a, mask)
+        mask_set = {(r, int(c)) for r in range(mask.num_rows)
+                    for c in mask.row(r).coords}
+        got = {(r, int(c)) for r in range(filtered.num_rows)
+               for c in filtered.row(r).coords}
+        assert got <= mask_set
+
+    def test_apply_mask_complement_disjoint_from_mask(self):
+        a = random_graph(20, 3.0, seed=24)
+        mask = sparse_mask(a.shape, seed=25)
+        filtered = apply_mask(a, mask, complement=True)
+        mask_set = {(r, int(c)) for r in range(mask.num_rows)
+                    for c in mask.row(r).coords}
+        got = {(r, int(c)) for r in range(filtered.num_rows)
+               for c in filtered.row(r).coords}
+        assert not (got & mask_set)
+
+    def test_apply_mask_shape_validation(self):
+        a = random_graph(10, 2.0, seed=26)
+        wrong = random_graph(11, 2.0, seed=27)
+        with pytest.raises(ValueError, match="mask shape"):
+            apply_mask(a, wrong)
+
+    def test_masked_b_operand_drops_unreferenced_rows(self):
+        # A references only column 0, so every other B row vanishes
+        # from the fetch set regardless of the mask.
+        a = CsrMatrix.from_dense(np.array([[1.0, 0.0, 0.0],
+                                           [2.0, 0.0, 0.0]]))
+        b = random_graph(3, 2.0, seed=28)
+        mask = CsrMatrix.from_dense(np.ones((2, 3)))
+        narrowed = masked_b_operand(a, b, mask)
+        assert narrowed.row(0).coords.tolist() == b.row(0).coords.tolist()
+        assert len(narrowed.row(1).coords) == 0
+        assert len(narrowed.row(2).coords) == 0
+
+    def test_masked_b_operand_shape_validation(self):
+        a = random_graph(5, 2.0, seed=29)
+        b = random_graph(5, 2.0, seed=30)
+        with pytest.raises(ValueError, match="mask shape"):
+            masked_b_operand(a, b, random_graph(6, 2.0, seed=31))
+
+
+class TestMaskedTraffic:
+    """The mask must genuinely shrink the modeled B fetch set."""
+
+    def test_structural_mask_reduces_b_traffic(self):
+        a = random_graph(40, 4.0, seed=32)
+        mask = sparse_mask(a.shape, seed=33, density=0.05)
+        plain = GammaSimulator(SMALL_CONFIG, keep_output=True).run(a, a)
+        masked = masked_spgemm(a, a, mask, config=SMALL_CONFIG)
+        assert masked.traffic_bytes["B"] < plain.traffic_bytes["B"]
+        assert masked.traffic_bytes["C"] <= plain.traffic_bytes["C"]
+        assert all(v >= 0 for v in masked.traffic_bytes.values())
+
+    def test_empty_mask_all_but_eliminates_b_traffic(self):
+        a = random_graph(30, 3.0, seed=34)
+        masked = masked_spgemm(a, a, empty_mask(a.shape),
+                               config=SMALL_CONFIG)
+        assert masked.c_nnz == 0
+        assert masked.output.nnz == 0
+        plain = GammaSimulator(SMALL_CONFIG, keep_output=True).run(a, a)
+        assert masked.traffic_bytes["B"] < plain.traffic_bytes["B"]
+
+    def test_report_shape(self):
+        a = random_graph(20, 3.0, seed=35)
+        report = masked_spgemm_report(a, a, default_mask(a, a),
+                                      config=SMALL_CONFIG)
+        assert set(report) == {"output", "c_nnz", "total_cycles",
+                               "total_traffic", "traffic_bytes"}
+        assert report["c_nnz"] == report["output"].nnz
+        assert report["total_cycles"] > 0
+
+
+class TestTriangles:
+    def test_matches_brute_force_undirected(self, undirected_graph):
+        result = triangle_count(undirected_graph, config=SMALL_CONFIG)
+        assert result["triangles"] == triangle_count_reference(
+            undirected_graph)
+        assert result["total_cycles"] > 0
+
+    def test_direction_ignored(self, directed_graph):
+        result = triangle_count(directed_graph, config=SMALL_CONFIG)
+        assert result["triangles"] == triangle_count_reference(
+            directed_graph)
+
+    def test_known_count(self):
+        # K4 has exactly 4 triangles.
+        dense = np.ones((4, 4)) - np.eye(4)
+        k4 = CsrMatrix.from_dense(dense)
+        assert triangle_count(k4, config=SMALL_CONFIG)["triangles"] == 4
+        assert triangle_count_reference(k4) == 4
+
+    def test_triangle_free(self):
+        # A bipartite (star) graph has none.
+        dense = np.zeros((6, 6))
+        dense[0, 1:] = 1.0
+        star = CsrMatrix.from_dense(dense)
+        assert triangle_count(star, config=SMALL_CONFIG)["triangles"] == 0
+
+    def test_validation(self):
+        rect = generators.uniform_random(4, 6, 2.0, seed=36)
+        with pytest.raises(ValueError, match="square"):
+            triangle_count(rect)
+
+
+class TestMaskedResultConsistency:
+    def test_masked_equals_oracle_on_graph(self, directed_graph):
+        a = directed_graph
+        mask = sparse_mask(a.shape, seed=37)
+        expected = spgemm_semiring(a, a, ARITHMETIC, mask=mask)
+        result = masked_spgemm(a, a, mask, config=SMALL_CONFIG)
+        assert result.output.coords.tolist() == expected.coords.tolist()
+        np.testing.assert_allclose(result.output.values, expected.values,
+                                   rtol=1e-9)

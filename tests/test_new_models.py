@@ -1,0 +1,216 @@
+"""Registry/sweep parity for the new execution models.
+
+``gamma-spmv`` (GUST-style SpMV on the Gamma core) and the CPU
+matrix-extension baselines (``sparsezipper``, ``rvv``) enter the engine
+through the same registry ``run()`` interface as the original designs.
+This suite proves the plumbing: direct-call parity, record-field
+population, disk-cache round-trips, serial == parallel determinism, the
+new sweep axes (mask, operand) in planning and cache keying, and the
+lockstep argument — ``gamma-spmv`` on a 1-column operand is
+bit-identical to ``gamma``.
+"""
+
+import pytest
+
+from repro.baselines import (
+    run_gamma_spmv,
+    run_rvv_model,
+    run_sparsezipper_model,
+    vector_operand,
+)
+from repro.engine import (
+    RunRecord,
+    SweepPoint,
+    available_models,
+    diskcache,
+    execute_point,
+    get_model,
+    plan_sweep,
+    record_key,
+    run_sweep,
+    scaled_cpu_config,
+    scaled_gamma_config,
+)
+from repro.matrices import suite
+
+SMALL_MATRICES = ("wiki-Vote", "poisson3Da")
+
+#: The models this PR adds, with the variant their sweep points carry.
+NEW_MODELS = (("gamma-spmv", "none"), ("sparsezipper", ""), ("rvv", ""))
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets its own disk cache directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    yield
+
+
+class TestRegistryParity:
+    def test_new_models_registered(self):
+        assert set(available_models()) >= {
+            "gamma-spmv", "sparsezipper", "rvv"}
+
+    @pytest.mark.parametrize("name", SMALL_MATRICES)
+    @pytest.mark.parametrize("model,run_fn", [
+        ("sparsezipper", run_sparsezipper_model),
+        ("rvv", run_rvv_model),
+    ])
+    def test_cpu_extension_parity(self, model, run_fn, name):
+        a, b = suite.operands(name)
+        config = scaled_cpu_config()
+        direct = run_fn(a, b, config, c_nnz=1234)
+        record = get_model(model).run(a, b, config, matrix=name,
+                                      c_nnz=1234)
+        assert record.cycles == direct.cycles
+        assert record.traffic_bytes == direct.traffic_bytes
+        assert record.flops == direct.flops
+        assert record.c_nnz == 1234
+
+    @pytest.mark.parametrize("name", SMALL_MATRICES)
+    def test_gamma_spmv_parity(self, name):
+        a, b = suite.operands(name)
+        config = scaled_gamma_config()
+        direct = run_gamma_spmv(a, b, config)
+        record = get_model("gamma-spmv").run(a, b, config, matrix=name)
+        assert record.cycles == direct.cycles
+        assert record.traffic_bytes == direct.traffic_bytes
+        assert record.compulsory_bytes == direct.compulsory_bytes
+        assert record.c_nnz == direct.c_nnz
+
+    def test_gamma_spmv_rejects_variants(self):
+        a, b = suite.operands("wiki-Vote")
+        with pytest.raises(ValueError, match="variant"):
+            get_model("gamma-spmv").run(a, b, variant="full")
+
+    def test_masked_gamma_rejects_variants(self):
+        a, b = suite.operands("wiki-Vote")
+        with pytest.raises(ValueError, match="variant"):
+            get_model("gamma").run(a, b, mask="structural",
+                                   variant="full")
+
+
+class TestSpmvLockstep:
+    """On a 1-column operand gamma-spmv *is* gamma, record for record."""
+
+    def test_one_column_operand_matches_gamma(self):
+        a, b = suite.operands("wiki-Vote")
+        x = vector_operand(b, "sparse-vector")
+        assert x.num_cols == 1
+        config = scaled_gamma_config()
+        spmv = get_model("gamma-spmv").run(a, x, config,
+                                           matrix="wiki-Vote")
+        gamma = get_model("gamma").run(a, x, config, matrix="wiki-Vote")
+        assert spmv.cycles == gamma.cycles
+        assert spmv.traffic_bytes == gamma.traffic_bytes
+        assert spmv.compulsory_bytes == gamma.compulsory_bytes
+        assert spmv.c_nnz == gamma.c_nnz
+
+    def test_dense_vector_materializes_every_coordinate(self):
+        _, b = suite.operands("wiki-Vote")
+        dense = vector_operand(b, "dense-vector")
+        sparse = vector_operand(b, "sparse-vector")
+        assert dense.num_cols == sparse.num_cols == 1
+        assert dense.nnz == b.num_rows
+        assert sparse.nnz <= dense.nnz
+
+    def test_unknown_operand_shape_rejected(self):
+        _, b = suite.operands("wiki-Vote")
+        with pytest.raises(ValueError, match="operand"):
+            vector_operand(b, "tensor")
+
+
+class TestNewAxisKeys:
+    """mask/operand participate in cache keys only where they apply."""
+
+    def test_mask_changes_gamma_key(self):
+        base = SweepPoint("gamma", "wiki-Vote")
+        masked = SweepPoint("gamma", "wiki-Vote", mask="structural")
+        assert record_key(base) != record_key(masked)
+        assert record_key(masked) != record_key(
+            SweepPoint("gamma", "wiki-Vote", mask="complement"))
+
+    def test_operand_changes_spmv_key(self):
+        base = SweepPoint("gamma-spmv", "wiki-Vote")
+        dense = SweepPoint("gamma-spmv", "wiki-Vote",
+                           operand="dense-vector")
+        assert record_key(base) != record_key(dense)
+
+    def test_new_axes_ignored_by_other_models(self):
+        # Pre-existing cache entries stay addressable: models the new
+        # axes do not apply to key exactly as before.
+        assert record_key(SweepPoint("mkl", "wiki-Vote", "")) == \
+            record_key(SweepPoint("mkl", "wiki-Vote", "",
+                                  mask="structural",
+                                  operand="dense-vector"))
+        assert record_key(SweepPoint("gamma", "wiki-Vote")) == \
+            record_key(SweepPoint("gamma", "wiki-Vote",
+                                  operand="dense-vector"))
+
+
+class TestSweepIntegration:
+    @pytest.mark.parametrize("model,variant", NEW_MODELS)
+    def test_execute_point_populates_and_caches(self, model, variant):
+        point = SweepPoint(model, "wiki-Vote", variant)
+        record = execute_point(point)
+        assert record.model == model
+        assert record.matrix == "wiki-Vote"
+        assert record.cycles > 0
+        assert sum(record.traffic_bytes.values()) > 0
+        assert record.c_nnz > 0
+        # Cached round-trip: the stored payload revives to the record.
+        stored = diskcache.load(record_key(point))
+        assert RunRecord.from_payload(stored) == record
+        assert execute_point(point) == record
+
+    def test_masked_point_executes_and_caches(self):
+        masked = execute_point(
+            SweepPoint("gamma", "wiki-Vote", mask="structural"))
+        plain = execute_point(SweepPoint("gamma", "wiki-Vote"))
+        # The default mask (A's own pattern) can only shrink the output
+        # and the B fetch set.
+        assert masked.c_nnz <= plain.c_nnz
+        assert masked.traffic_bytes["B"] <= plain.traffic_bytes["B"]
+        assert masked != plain
+        assert execute_point(
+            SweepPoint("gamma", "wiki-Vote", mask="structural")) == masked
+
+    def test_plan_expands_new_axes(self):
+        points = plan_sweep(["wiki-Vote"],
+                            models=("gamma", "gamma-spmv"),
+                            variants=("none",),
+                            masks=("none", "structural"))
+        assert SweepPoint("gamma", "wiki-Vote", "none") in points
+        assert SweepPoint("gamma", "wiki-Vote", "none",
+                          mask="structural") in points
+        assert SweepPoint("gamma-spmv", "wiki-Vote", "none") in points
+
+    def test_masked_points_do_not_expand_variants(self):
+        points = plan_sweep(["wiki-Vote"], models=("gamma",),
+                            variants=("none", "full"),
+                            masks=("structural",))
+        assert len(points) == 1
+        assert points[0].variant == "none"
+        assert points[0].mask == "structural"
+
+    def test_plan_rejects_unknown_axes(self):
+        with pytest.raises(ValueError, match="mask"):
+            plan_sweep(["wiki-Vote"], masks=("sometimes",))
+        with pytest.raises(ValueError, match="operand"):
+            plan_sweep(["wiki-Vote"], operand="tensor")
+
+    def test_parallel_equals_serial(self, tmp_path, monkeypatch):
+        """Determinism holds for the new models, payload-for-payload."""
+        points = plan_sweep(
+            ["wiki-Vote"],
+            models=("gamma", "gamma-spmv", "sparsezipper", "rvv"),
+            variants=("none",))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "par"))
+        parallel = run_sweep(points, workers=2)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ser"))
+        serial = run_sweep(points, serial=True)
+        assert set(parallel) == set(serial)
+        for point in points:
+            assert (parallel[point].to_payload()
+                    == serial[point].to_payload()), point

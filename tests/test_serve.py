@@ -74,6 +74,24 @@ class TestJobSpec:
                            variant="reorder", semiring="boolean")
         assert spec.key() == record_key(point)
 
+    def test_masked_key_matches_engine_record_key(self):
+        spec = JobSpec.from_payload(
+            {"matrix": "wiki-Vote", "mask": "structural"})
+        point = SweepPoint(model="gamma", matrix="wiki-Vote",
+                           mask="structural")
+        assert spec.key() == record_key(point)
+        assert JobSpec.from_checkpoint(spec.to_payload()) == spec
+
+    def test_spmv_key_matches_engine_record_key(self):
+        spec = JobSpec.from_payload(
+            {"matrix": "wiki-Vote", "model": "gamma-spmv",
+             "operand": "dense-vector", "semiring": "boolean"})
+        point = SweepPoint(model="gamma-spmv", matrix="wiki-Vote",
+                           variant="none", semiring="boolean",
+                           operand="dense-vector")
+        assert spec.key() == record_key(point)
+        assert JobSpec.from_checkpoint(spec.to_payload()) == spec
+
     @pytest.mark.parametrize("payload,fragment", [
         ("not-a-dict", "JSON object"),
         ({}, "required"),
@@ -86,6 +104,14 @@ class TestJobSpec:
           "semiring": "boolean"}, "arithmetic"),
         ({"matrix": "wiki-Vote", "model": "mkl",
           "variant": "reorder"}, "no preprocessing"),
+        ({"matrix": "wiki-Vote", "mask": "bogus"}, "mask"),
+        ({"matrix": "wiki-Vote", "mask": "structural",
+          "variant": "full"}, "do not compose"),
+        ({"matrix": "wiki-Vote", "model": "mkl",
+          "mask": "structural"}, "mask"),
+        ({"matrix": "wiki-Vote", "operand": "dense-vector"}, "operand"),
+        ({"matrix": "wiki-Vote", "model": "gamma-spmv",
+          "operand": "bogus"}, "operand"),
         ({"matrix": "wiki-Vote", "multi_pe": "yes"}, "boolean"),
         ({"matrix": "wiki-Vote", "config": {"nope": 1}},
          "unknown config"),
@@ -129,6 +155,55 @@ class TestLifecycle:
         assert body["fingerprint"] == clean.fingerprint()
         assert RunRecord.from_payload(body["result"]).fingerprint() \
             == clean.fingerprint()
+
+    @pytest.mark.timeout(120)
+    def test_masked_job_matches_direct_engine_run(self, tmp_path,
+                                                  monkeypatch):
+        """A masked job round-trips identical to the engine run."""
+        payload = {"matrix": "wiki-Vote", "model": "gamma",
+                   "mask": "structural"}
+
+        async def scenario():
+            server = await booted()
+            status, body = await server.submit_and_wait(payload,
+                                                        client="t")
+            await server.shutdown()
+            return status, body
+
+        status, body = serve(scenario())
+        assert status == 202
+        assert body["state"] == "done"
+        assert body["spec"]["mask"] == "structural"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+        clean = execute_point(SweepPoint(model="gamma",
+                                         matrix="wiki-Vote",
+                                         mask="structural"))
+        assert body["fingerprint"] == clean.fingerprint()
+        assert RunRecord.from_payload(body["result"]).fingerprint() \
+            == clean.fingerprint()
+
+    @pytest.mark.timeout(120)
+    def test_spmv_job_matches_direct_engine_run(self, tmp_path,
+                                                monkeypatch):
+        payload = {"matrix": "wiki-Vote", "model": "gamma-spmv",
+                   "operand": "dense-vector"}
+
+        async def scenario():
+            server = await booted()
+            status, body = await server.submit_and_wait(payload,
+                                                        client="t")
+            await server.shutdown()
+            return status, body
+
+        status, body = serve(scenario())
+        assert status == 202
+        assert body["state"] == "done"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+        clean = execute_point(SweepPoint(model="gamma-spmv",
+                                         matrix="wiki-Vote",
+                                         variant="none",
+                                         operand="dense-vector"))
+        assert body["fingerprint"] == clean.fingerprint()
 
     @pytest.mark.timeout(120)
     def test_tiers_serve_repeat_submissions(self):
