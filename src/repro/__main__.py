@@ -11,6 +11,8 @@ Usage::
     python -m repro sweep --set common --models gamma,mkl --workers 8
     python -m repro sweep --metrics --trace-dir out/   # telemetry-enabled
     python -m repro report out/                        # render run report
+    python -m repro figures --out figs/                # versioned figure set
+    python -m repro figures --check                    # drift-check vs goldens
     python -m repro profile gamma wiki-Vote            # cycle-level report
     python -m repro profile gamma gupta2 --variant full --trace out.jsonl
     python -m repro profile gamma gupta2 --perfetto out.trace.json
@@ -266,12 +268,64 @@ def _cmd_report(args) -> int:
     try:
         paths = generate_report(args.directory,
                                 include_timing=args.include_timing,
-                                output_dir=args.output)
+                                output_dir=args.output,
+                                include_figures=not args.no_figures)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     for kind, path in sorted(paths.items()):
         print(f"wrote {kind} report to {path}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.figures import (
+        FIGURE_GENERATORS,
+        GOLDEN_FIGURES_DIR,
+        SCOPES,
+        check_figures,
+        generate_figures,
+    )
+
+    if args.list:
+        width = max(len(g.figure_id) for g in FIGURE_GENERATORS)
+        for generator in FIGURE_GENERATORS:
+            print(f"{generator.figure_id:<{width}}  {generator.title} "
+                  f"({generator.paper_ref})")
+        return 0
+    only = args.only or None
+    if only:
+        known = {g.figure_id for g in FIGURE_GENERATORS}
+        unknown = [figure_id for figure_id in only
+                   if figure_id not in known]
+        if unknown:
+            print(f"error: unknown figure id(s): {', '.join(unknown)}; "
+                  f"see 'repro figures --list'", file=sys.stderr)
+            return 2
+    if args.scope not in SCOPES:
+        print(f"error: unknown scope {args.scope!r}; "
+              f"choose from {', '.join(sorted(SCOPES))}", file=sys.stderr)
+        return 2
+    if args.check:
+        golden = args.golden or GOLDEN_FIGURES_DIR
+        drifts = check_figures(golden_dir=golden, only=only,
+                               workdir=args.out)
+        if drifts:
+            print(f"figure drift against goldens in {golden}:",
+                  file=sys.stderr)
+            for drift in drifts:
+                print(f"  {drift}", file=sys.stderr)
+            return 1
+        print(f"figures match goldens in {golden}")
+        return 0
+    out_dir = args.out or "figures"
+    manifest = generate_figures(out_dir, scope=args.scope, only=only)
+    for entry in manifest["figures"]:
+        print(f"wrote {entry['id']}: {entry['spec']} + {entry['data']} "
+              f"({entry['rows']} rows)")
+    print(f"wrote manifest for {manifest['num_figures']} figure(s) "
+          f"[scope {manifest['scope']}, inputs "
+          f"{manifest['inputs_fingerprint'][:12]}] to {out_dir}")
     return 0
 
 
@@ -401,6 +455,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.add_argument(
         "--output", metavar="DIR", default=None,
         help="write reports here instead of into the sweep directory")
+    report_parser.add_argument(
+        "--no-figures", action="store_true",
+        help="skip the embedded figure set (figures/ subdirectory with "
+             "Vega-Lite specs + CSVs derived from the sweep summary)")
+    figures_parser = sub.add_parser(
+        "figures",
+        help="emit the paper's figures as versioned Vega-Lite + CSV "
+             "artifacts, or drift-check them against committed goldens")
+    figures_parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="output directory (default: figures/; with --check, a "
+             "scratch directory for the regenerated set)")
+    figures_parser.add_argument(
+        "--scope", default="quick",
+        help="matrix scope: quick, common, extended, or paper "
+             "(default: quick — the committed golden scope)")
+    figures_parser.add_argument(
+        "--only", action="append", metavar="ID",
+        help="restrict to one figure id (repeatable); see --list")
+    figures_parser.add_argument(
+        "--check", action="store_true",
+        help="regenerate and byte-compare against the committed goldens; "
+             "exit 1 naming each drifted figure")
+    figures_parser.add_argument(
+        "--golden", metavar="DIR", default=None,
+        help="golden directory for --check "
+             "(default: tests/golden/figures)")
+    figures_parser.add_argument(
+        "--list", action="store_true",
+        help="list the figure catalog and exit")
     profile_parser = sub.add_parser(
         "profile",
         help="run one point instrumented and print the cycle-level report")
@@ -480,6 +564,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "serve":

@@ -1,14 +1,28 @@
-"""ASCII chart rendering for the paper's figures.
+"""ASCII chart rendering and chart-data extraction for the figures.
 
 The evaluation artifacts are *figures*; these helpers render them as
 terminal bar charts and scatter plots so benchmark output is directly
 comparable to the paper's plots without a plotting dependency.
+
+The second half of the module is the **chart-data layer** used by the
+versioned figure pipeline (:mod:`repro.figures`): a figure builds one
+structured ``chart_data`` dict (:func:`bar_data`, :func:`multi_bar_data`,
+:func:`stacked_bar_data`, :func:`scatter_data`) and *both* presentations
+are derived from it — :func:`render_chart` dispatches to the ASCII
+renderers above, while :func:`chart_csv_rows` and
+:func:`vega_lite_spec` emit the tidy CSV rows and the Vega-Lite JSON
+spec. Because there is a single extraction point, the terminal chart
+and the committed artifact can never disagree about the data. Specs are
+plain JSON dicts (no plotting dependency) checked by
+:func:`validate_vega_lite_spec` against the pinned schema contract.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.numfmt import canonical
 
 _BAR_FILL = "#"
 _STACK_FILLS = "#=+:*o"
@@ -170,3 +184,386 @@ def grouped_bar_chart(
             bar = _BAR_FILL * int(round(width * value / peak))
             lines.append(f"  {name:>{series_width}} |{bar} {value:.2f}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chart-data layer: one structure, two presentations
+# ----------------------------------------------------------------------
+#: The Vega-Lite schema every emitted spec declares.
+VEGA_LITE_SCHEMA_URL = "https://vega.github.io/schema/vega-lite/v5.json"
+
+#: The mark/type/channel vocabulary the pipeline is allowed to emit.
+#: Pinned in ``tests/golden/vega_lite_schema.json`` so a change to the
+#: spec surface is an explicit golden update, same discipline as
+#: ``obs/traceevent.py``.
+VEGA_LITE_CONTRACT: Dict[str, Any] = {
+    "schema_url": VEGA_LITE_SCHEMA_URL,
+    "marks": ["bar", "line", "point"],
+    "field_types": ["nominal", "quantitative"],
+    "channels": ["color", "x", "y", "yOffset"],
+    "scale_types": ["linear", "log"],
+}
+
+_CHART_KINDS = ("bar", "multi_bar", "stacked_bar", "scatter")
+
+
+def bar_data(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    label_field: str = "label",
+    value_field: str = "value",
+    value_format: str = "{:.2f}",
+    max_value: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Chart data for a simple labelled bar chart (one value per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    return canonical({
+        "kind": "bar",
+        "title": title,
+        "label_field": label_field,
+        "value_field": value_field,
+        "labels": [str(label) for label in labels],
+        "values": list(values),
+        "value_format": value_format,
+        "max_value": max_value,
+    })
+
+
+def multi_bar_data(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    label_field: str = "label",
+    series_field: str = "series",
+    value_field: str = "value",
+) -> Dict[str, Any]:
+    """Chart data for grouped bars: one bar per (label, series) pair."""
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels")
+    return canonical({
+        "kind": "multi_bar",
+        "title": title,
+        "label_field": label_field,
+        "series_field": series_field,
+        "value_field": value_field,
+        "labels": [str(label) for label in labels],
+        "series": {str(name): list(values)
+                   for name, values in series.items()},
+    })
+
+
+def stacked_bar_data(
+    labels: Sequence[str],
+    stacks: Sequence[Dict[str, float]],
+    categories: Sequence[str],
+    *,
+    title: str = "",
+    label_field: str = "label",
+    category_field: str = "category",
+    value_field: str = "value",
+    max_value: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Chart data for stacked bars (the traffic-breakdown figures)."""
+    if len(labels) != len(stacks):
+        raise ValueError("labels and stacks must have equal length")
+    return canonical({
+        "kind": "stacked_bar",
+        "title": title,
+        "label_field": label_field,
+        "category_field": category_field,
+        "value_field": value_field,
+        "labels": [str(label) for label in labels],
+        "categories": [str(category) for category in categories],
+        "stacks": [
+            {str(category): stack.get(category, 0.0)
+             for category in categories}
+            for stack in stacks
+        ],
+        "max_value": max_value,
+    })
+
+
+def scatter_data(
+    points: Sequence[Tuple[float, float]],
+    *,
+    names: Optional[Sequence[str]] = None,
+    curve: Optional[Sequence[Tuple[float, float]]] = None,
+    title: str = "",
+    x_field: str = "x",
+    y_field: str = "y",
+    series_field: str = "series",
+    point_series: str = "points",
+    curve_series: str = "roof",
+    log_x: bool = False,
+    log_y: bool = False,
+) -> Dict[str, Any]:
+    """Chart data for a scatter plot with an optional overlay curve.
+
+    ``names`` optionally labels each point (carried into the CSV as a
+    ``name`` column; the ASCII renderer ignores it).
+    """
+    if names is not None and len(names) != len(points):
+        raise ValueError("names and points must have equal length")
+    return canonical({
+        "kind": "scatter",
+        "title": title,
+        "x_field": x_field,
+        "y_field": y_field,
+        "series_field": series_field,
+        "point_series": point_series,
+        "curve_series": curve_series,
+        "points": [[x, y] for x, y in points],
+        "names": [str(name) for name in names] if names is not None
+        else None,
+        "curve": [[x, y] for x, y in curve] if curve is not None else None,
+        "log_x": bool(log_x),
+        "log_y": bool(log_y),
+    })
+
+
+def render_chart(chart: Dict[str, Any]) -> str:
+    """The ASCII rendering of a chart-data dict.
+
+    Dispatches to the terminal renderers above, so the text chart in the
+    report and the Vega-Lite artifact are two views of the same data.
+    """
+    kind = chart.get("kind")
+    if kind == "bar":
+        return hbar_chart(
+            chart["labels"], chart["values"], title=chart["title"],
+            value_format=chart.get("value_format", "{:.2f}"),
+            max_value=chart.get("max_value"))
+    if kind == "multi_bar":
+        return grouped_bar_chart(
+            chart["labels"], chart["series"], title=chart["title"])
+    if kind == "stacked_bar":
+        return stacked_hbar_chart(
+            chart["labels"],
+            [dict(stack) for stack in chart["stacks"]],
+            chart["categories"], title=chart["title"],
+            max_value=chart.get("max_value"))
+    if kind == "scatter":
+        return scatter_plot(
+            [tuple(point) for point in chart["points"]],
+            curve=([tuple(point) for point in chart["curve"]]
+                   if chart.get("curve") else None),
+            log_x=chart.get("log_x", False),
+            log_y=chart.get("log_y", False),
+            title=chart["title"])
+    raise ValueError(f"unknown chart kind {kind!r}")
+
+
+def chart_csv_rows(chart: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The tidy (long-form) rows of a chart-data dict.
+
+    One row per plotted datum, in a deterministic order (label-major,
+    then series/category in declared order). These rows are exactly what
+    the figure pipeline writes to the ``.csv`` next to each spec and
+    what the spec's ``data.url`` points at.
+    """
+    kind = chart.get("kind")
+    if kind == "bar":
+        return [
+            {chart["label_field"]: label, chart["value_field"]: value}
+            for label, value in zip(chart["labels"], chart["values"])
+        ]
+    if kind == "multi_bar":
+        return [
+            {
+                chart["label_field"]: label,
+                chart["series_field"]: name,
+                chart["value_field"]: values[index],
+            }
+            for index, label in enumerate(chart["labels"])
+            for name, values in chart["series"].items()
+        ]
+    if kind == "stacked_bar":
+        return [
+            {
+                chart["label_field"]: label,
+                chart["category_field"]: category,
+                chart["value_field"]: stack.get(category, 0.0),
+            }
+            for label, stack in zip(chart["labels"], chart["stacks"])
+            for category in chart["categories"]
+        ]
+    if kind == "scatter":
+        rows = []
+        names = chart.get("names")
+        for index, (x, y) in enumerate(chart["points"]):
+            row = {chart["series_field"]: chart["point_series"]}
+            if names is not None:
+                row["name"] = names[index]
+            row[chart["x_field"]] = x
+            row[chart["y_field"]] = y
+            rows.append(row)
+        for x, y in chart.get("curve") or []:
+            row = {chart["series_field"]: chart["curve_series"]}
+            if names is not None:
+                row["name"] = ""
+            row[chart["x_field"]] = x
+            row[chart["y_field"]] = y
+            rows.append(row)
+        return rows
+    raise ValueError(f"unknown chart kind {kind!r}")
+
+
+def _axis(field: str, field_type: str, *, sort=False, log=False,
+          stack=None, title: Optional[str] = None) -> Dict[str, Any]:
+    encoding: Dict[str, Any] = {"field": field, "type": field_type}
+    if sort is None:
+        encoding["sort"] = None
+    if log:
+        encoding["scale"] = {"type": "log"}
+    if stack is not None:
+        encoding["stack"] = stack
+    if title is not None:
+        encoding["title"] = title
+    return encoding
+
+
+def vega_lite_spec(
+    chart: Dict[str, Any],
+    data_url: Optional[str] = None,
+    description: str = "",
+) -> Dict[str, Any]:
+    """The Vega-Lite v5 spec (a plain JSON dict) of a chart-data dict.
+
+    ``data_url`` references the sibling CSV written by the pipeline
+    (the committed-artifact form); without it the rows are inlined under
+    ``data.values`` (handy for notebooks). Category orders use
+    ``"sort": null`` so the artifact preserves the figure's declared
+    order instead of alphabetizing.
+    """
+    kind = chart.get("kind")
+    if kind not in _CHART_KINDS:
+        raise ValueError(f"unknown chart kind {kind!r}")
+    if data_url is not None:
+        data: Dict[str, Any] = {
+            "url": data_url, "format": {"type": "csv"}}
+    else:
+        data = {"values": chart_csv_rows(chart)}
+    spec: Dict[str, Any] = {
+        "$schema": VEGA_LITE_SCHEMA_URL,
+        "description": description or chart.get("title", ""),
+        "data": data,
+    }
+    if kind == "bar":
+        spec["mark"] = "bar"
+        spec["encoding"] = {
+            "y": _axis(chart["label_field"], "nominal", sort=None),
+            "x": _axis(chart["value_field"], "quantitative"),
+        }
+    elif kind == "multi_bar":
+        spec["mark"] = "bar"
+        spec["encoding"] = {
+            "y": _axis(chart["label_field"], "nominal", sort=None),
+            "yOffset": _axis(chart["series_field"], "nominal",
+                             sort=None),
+            "x": _axis(chart["value_field"], "quantitative"),
+            "color": _axis(chart["series_field"], "nominal", sort=None),
+        }
+    elif kind == "stacked_bar":
+        spec["mark"] = "bar"
+        spec["encoding"] = {
+            "y": _axis(chart["label_field"], "nominal", sort=None),
+            "x": _axis(chart["value_field"], "quantitative",
+                       stack="zero"),
+            "color": _axis(chart["category_field"], "nominal",
+                           sort=None),
+        }
+    elif kind == "scatter":
+        point_layer = {
+            "mark": "point",
+            "transform": [{
+                "filter": (f"datum.{chart['series_field']} == "
+                           f"'{chart['point_series']}'"),
+            }],
+            "encoding": {
+                "x": _axis(chart["x_field"], "quantitative",
+                           log=chart.get("log_x", False)),
+                "y": _axis(chart["y_field"], "quantitative",
+                           log=chart.get("log_y", False)),
+            },
+        }
+        if not chart.get("curve"):
+            spec["mark"] = point_layer["mark"]
+            spec["encoding"] = point_layer["encoding"]
+            return spec
+        curve_layer = {
+            "mark": "line",
+            "transform": [{
+                "filter": (f"datum.{chart['series_field']} == "
+                           f"'{chart['curve_series']}'"),
+            }],
+            "encoding": {
+                "x": _axis(chart["x_field"], "quantitative",
+                           log=chart.get("log_x", False)),
+                "y": _axis(chart["y_field"], "quantitative",
+                           log=chart.get("log_y", False)),
+            },
+        }
+        spec["layer"] = [curve_layer, point_layer]
+    return spec
+
+
+def _validate_encoding(encoding: Dict[str, Any], where: str) -> int:
+    if not isinstance(encoding, dict) or not encoding:
+        raise ValueError(f"{where}: encoding must be a non-empty dict")
+    for channel, axis in encoding.items():
+        if channel not in VEGA_LITE_CONTRACT["channels"]:
+            raise ValueError(
+                f"{where}: channel {channel!r} outside the pinned "
+                "contract")
+        if not isinstance(axis, dict) or "field" not in axis \
+                or "type" not in axis:
+            raise ValueError(
+                f"{where}: channel {channel!r} needs field and type")
+        if axis["type"] not in VEGA_LITE_CONTRACT["field_types"]:
+            raise ValueError(
+                f"{where}: field type {axis['type']!r} outside the "
+                "pinned contract")
+        scale = axis.get("scale", {})
+        if scale and scale.get("type") not in \
+                VEGA_LITE_CONTRACT["scale_types"]:
+            raise ValueError(
+                f"{where}: scale type {scale.get('type')!r} outside "
+                "the pinned contract")
+    return len(encoding)
+
+
+def validate_vega_lite_spec(spec: Dict[str, Any]) -> int:
+    """Structural validation of an emitted spec; returns channels seen.
+
+    Not a full Vega-Lite validator (that would need the upstream JSON
+    schema); checks the invariants the pipeline promises — declared v5
+    schema, a data source (url or inline values), and marks/encodings
+    drawn from :data:`VEGA_LITE_CONTRACT`. Raises ``ValueError`` on the
+    first violation.
+    """
+    if spec.get("$schema") != VEGA_LITE_SCHEMA_URL:
+        raise ValueError("spec must declare the pinned Vega-Lite schema")
+    data = spec.get("data")
+    if not isinstance(data, dict) or not ("url" in data
+                                          or "values" in data):
+        raise ValueError("spec needs data.url or data.values")
+    layers = spec.get("layer")
+    units = layers if layers is not None else [spec]
+    if not units:
+        raise ValueError("spec has an empty layer list")
+    channels = 0
+    for index, unit in enumerate(units):
+        where = f"layer[{index}]" if layers is not None else "spec"
+        mark = unit.get("mark")
+        if mark not in VEGA_LITE_CONTRACT["marks"]:
+            raise ValueError(
+                f"{where}: mark {mark!r} outside the pinned contract")
+        channels += _validate_encoding(unit.get("encoding"), where)
+    return channels

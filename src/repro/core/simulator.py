@@ -280,13 +280,26 @@ class _BatchedRunState(_ReferenceRunState):
                 head = scheduler.peek_ready()
                 if head is not None and head.level == 0:
                     if not scheduler.has_blocked_tasks():
-                        # No task tree in flight: the head is a simple
-                        # final leaf (a non-final leaf implies a waiting
-                        # parent) and the whole cursor-consuming stretch
-                        # is timing-independent end to end.
+                        # No task tree in flight: the head is usually a
+                        # simple final leaf and the whole
+                        # cursor-consuming stretch is
+                        # timing-independent end to end. The head can
+                        # still be a *non-final* level-0 leaf — a tiled
+                        # row's part expanded before its siblings, so
+                        # its combine parent does not exist yet — in
+                        # which case the stretch is empty and the task
+                        # takes the scalar path (what the reference
+                        # event loop does with it).
                         batch = scheduler.drain_stretch(target_pending)
-                        sequence = self._execute_epoch(
-                            batch, completions, sequence)
+                        if batch[0]:
+                            sequence = self._execute_epoch(
+                                batch, completions, sequence)
+                        else:
+                            task = scheduler.next_task()
+                            finish = self._execute_task(task)
+                            heapq.heappush(
+                                completions, (finish, sequence, task))
+                            sequence += 1
                         continue
                     entries = scheduler.drain_ready_leaves()
                     ids = [entry[1].task_id for entry in entries]
@@ -301,8 +314,19 @@ class _BatchedRunState(_ReferenceRunState):
                         # applies.
                         scheduler.push_back(entries)
                         batch = scheduler.drain_stretch(target_pending)
-                        sequence = self._execute_epoch(
-                            batch, completions, sequence)
+                        if batch[0]:
+                            sequence = self._execute_epoch(
+                                batch, completions, sequence)
+                        else:
+                            # Non-final level-0 head whose combine
+                            # parent is not registered yet (tiled row,
+                            # parts still on the cursor): scalar
+                            # dispatch, as the reference does.
+                            task = scheduler.next_task()
+                            finish = self._execute_task(task)
+                            heapq.heappush(
+                                completions, (finish, sequence, task))
+                            sequence += 1
                     else:
                         new_sequence = self._execute_epoch_fenced(
                             entries, ids, fence, waiters, completions,

@@ -56,6 +56,15 @@ class ExperimentRunner:
         self._records: Dict[SweepPoint, RunRecord] = {}
 
     # -- engine plumbing ------------------------------------------------
+    def records(self) -> Dict[SweepPoint, RunRecord]:
+        """Snapshot of every point this runner has evaluated.
+
+        The figure pipeline fingerprints its inputs from exactly this
+        mapping (point label x record fingerprint), which is why it
+        runs on a fresh runner instead of the shared module one.
+        """
+        return dict(self._records)
+
     def run_point(self, point: SweepPoint) -> RunRecord:
         """Evaluate one sweep point (in-memory memo, then disk cache)."""
         if point not in self._records:
@@ -99,6 +108,17 @@ class ExperimentRunner:
         """Simulate Gamma on a suite matrix (cached in memory and on disk)."""
         return self.run_point(SweepPoint(
             "gamma", name, preprocess_variant, config, multi_pe))
+
+    def spmv(self, name: str, operand: str = "sparse-vector",
+             config: Optional[GammaConfig] = None) -> RunRecord:
+        """Run the GUST-style ``gamma-spmv`` model on a suite matrix.
+
+        ``operand`` picks the vector shape (see
+        :data:`repro.baselines.spmv.OPERAND_SHAPES`); SpMV points take
+        no preprocessing variant.
+        """
+        return self.run_point(SweepPoint(
+            "gamma-spmv", name, "none", config, operand=operand))
 
     # -- output size (needed by the traffic models) ---------------------
     def c_nnz(self, name: str) -> int:

@@ -1,0 +1,165 @@
+"""The figure catalog: one generator per paper figure/table family.
+
+Each :class:`FigureGenerator` wraps one of the parameterized builders in
+:mod:`repro.experiments.figures` and binds it to a
+:class:`~repro.figures.scopes.FigureScope` at generation time. The
+``figure_id`` is the artifact basename (``speedup.vl.json`` +
+``speedup.csv``); ``paper_ref`` records which paper figure(s) the
+artifact reproduces.
+
+Generators are *semantic*, not one-per-paper-figure-number: e.g. the
+paper renders per-matrix speedup twice (Fig. 11 common set, Fig. 15
+extended set) and the pipeline expresses that as the ``speedup``
+generator run at two scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import figures as fig
+from repro.experiments.runner import ExperimentRunner
+from repro.figures.scopes import FigureScope
+
+
+@dataclass(frozen=True)
+class FigureGenerator:
+    """One versioned-artifact generator.
+
+    Attributes:
+        figure_id: Artifact basename and ``--only`` id.
+        title: Human title (embedded in the Vega-Lite description).
+        paper_ref: The paper figure/table the artifact reproduces.
+        build: ``(scope, runner) -> figure dict`` with ``chart_data``.
+    """
+
+    figure_id: str
+    title: str
+    paper_ref: str
+    build: Callable[[FigureScope, ExperimentRunner], Dict]
+
+
+def _title(base: str, scope: FigureScope) -> str:
+    return f"{base} [{scope.name} scope]"
+
+
+FIGURE_GENERATORS: List[FigureGenerator] = [
+    FigureGenerator(
+        "speedup", "Per-matrix speedup over MKL, all designs",
+        "Figs. 11/15",
+        lambda s, r: fig.speedup_figure(
+            s.matrices, _title("Speedup over MKL", s), r),
+    ),
+    FigureGenerator(
+        "gmean_speedup", "Suite gmean speedup over MKL per design",
+        "Fig. 10",
+        lambda s, r: fig.gmean_speedup_figure(
+            s.matrices, _title("Gmean speedup over MKL", s), r),
+    ),
+    FigureGenerator(
+        "traffic", "Normalized DRAM traffic, all designs",
+        "Figs. 12/16",
+        lambda s, r: fig.traffic_figure(
+            s.matrices, _title("Normalized traffic", s), r),
+    ),
+    FigureGenerator(
+        "traffic_breakdown", "Traffic breakdown by stream and design",
+        "Fig. 3",
+        lambda s, r: fig.breakdown_figure(
+            s.matrices, _title("Traffic breakdown", s), r),
+    ),
+    FigureGenerator(
+        "bandwidth", "Memory bandwidth utilization, G and GP",
+        "Figs. 13/17",
+        lambda s, r: fig.bandwidth_figure(
+            s.matrices, _title("Bandwidth utilization", s), r),
+    ),
+    FigureGenerator(
+        "cache_util", "FiberCache utilization by fiber type",
+        "Figs. 14/18",
+        lambda s, r: fig.cache_util_figure(
+            s.matrices, _title("FiberCache utilization", s), r),
+    ),
+    FigureGenerator(
+        "preprocessing", "Preprocessing ablation traffic breakdown",
+        "Fig. 19",
+        lambda s, r: fig.preprocessing_figure(
+            s.matrices, _title("Preprocessing ablation", s), r),
+    ),
+    FigureGenerator(
+        "scheduling", "Multi-PE vs single-PE-per-row scheduling",
+        "Fig. 20",
+        lambda s, r: fig.scheduling_figure(
+            s.scheduling_matrix, _title("Scheduling ablation", s), r),
+    ),
+    FigureGenerator(
+        "roofline", "Roofline placement of every matrix, G and GP",
+        "Fig. 21",
+        lambda s, r: fig.roofline_figure(
+            s.matrices, _title("Roofline", s), r),
+    ),
+    FigureGenerator(
+        "pe_scaling", "PE-count scaling sweep",
+        "Figs. 22/23",
+        lambda s, r: fig.pe_sweep_figure(
+            s.matrices, _title("PE scaling", s), r),
+    ),
+    FigureGenerator(
+        "cache_scaling", "FiberCache-size scaling sweep",
+        "Figs. 24/25",
+        lambda s, r: fig.cache_sweep_figure(
+            s.matrices, _title("FiberCache scaling", s), r),
+    ),
+    FigureGenerator(
+        "spmv", "Gamma SpMV (GUST-style) by vector operand shape",
+        "extension",
+        lambda s, r: fig.spmv_figure(
+            s.matrices, _title("Gamma SpMV", s), r),
+    ),
+    FigureGenerator(
+        "energy", "Energy across designs (parametric model)",
+        "extension",
+        lambda s, r: fig.energy_figure(
+            s.matrices, _title("Energy", s), r),
+    ),
+    FigureGenerator(
+        "dataflows", "Dataflow work counts (IP/OP/Gustavson)",
+        "Fig. 2 / Sec. 2.2",
+        lambda s, r: fig.dataflows_figure(
+            s.dataflow_matrices, _title("Dataflow work counts", s)),
+    ),
+    FigureGenerator(
+        "matraptor", "MatRaptor vs Gamma (Gustavson without B reuse)",
+        "Sec. 7",
+        lambda s, r: fig.matraptor_figure(
+            s.matrices, _title("MatRaptor vs Gamma", s), r),
+    ),
+    FigureGenerator(
+        "suite", "Matrix-suite characteristics",
+        "Tables 3/4",
+        lambda s, r: fig.suite_figure(
+            s.suite_specs(), _title("Matrix suite", s), r),
+    ),
+    FigureGenerator(
+        "area", "Gamma area breakdown, model vs published",
+        "Table 2",
+        lambda s, r: fig.area_figure(_title("Area breakdown", s)),
+    ),
+]
+
+_BY_ID: Dict[str, FigureGenerator] = {
+    g.figure_id: g for g in FIGURE_GENERATORS}
+
+
+def figure_ids() -> List[str]:
+    return [g.figure_id for g in FIGURE_GENERATORS]
+
+
+def get_generator(figure_id: str) -> FigureGenerator:
+    try:
+        return _BY_ID[figure_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure id {figure_id!r}; known: {figure_ids()}"
+        ) from None

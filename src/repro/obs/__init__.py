@@ -36,6 +36,12 @@ from repro.obs.metrics import (
     TimeSeries,
     as_registry,
 )
+from repro.obs.numfmt import (
+    SIGNIFICANT_DIGITS,
+    canonical,
+    canonical_number,
+    format_cell,
+)
 from repro.obs.profile import ProfileRun, profile_point, render_report
 from repro.obs.rollup import (
     ROLLUP_SCHEMA_VERSION,
@@ -71,7 +77,11 @@ __all__ = [
     "MetricsRegistry",
     "TimeSeries",
     "ProfileRun",
+    "SIGNIFICANT_DIGITS",
     "as_registry",
+    "canonical",
+    "canonical_number",
+    "format_cell",
     "chrome_trace_from_execution_trace",
     "chrome_trace_from_run_log",
     "event_schema",

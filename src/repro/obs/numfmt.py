@@ -1,0 +1,92 @@
+"""Repr-stable number canonicalization for versioned artifacts.
+
+Every figure CSV, Vega-Lite spec, manifest, and roll-up summary is a
+*committed, diffable artifact*: two machines generating the same data
+must produce the same bytes. Raw floats break that promise in two ways:
+
+* **numpy scalar types** leak into rows (``np.float32``/``np.int64``
+  from vectorized kernels). ``json`` refuses them outright, ``str()``
+  of a ``float32`` renders differently from the equivalent Python
+  float, and a float32 widened to float64 carries noise digits.
+* **Low-bit drift**: different BLAS builds / numpy versions can differ
+  in the last ulp of a reduction, which would churn every golden file
+  for no behavioral reason.
+
+:func:`canonical_number` fixes both: numpy scalars are converted to
+built-ins, and floats are rounded to :data:`SIGNIFICANT_DIGITS`
+significant digits through the ``repr``-stable shortest-round-trip
+formatter (``%.12g`` then ``float()``), so the value that reaches
+``json.dumps``/CSV is a plain Python number whose text form is
+identical on every platform. 12 significant digits is far above any
+quantity the models report meaningfully (cycle counts, byte totals,
+gmeans) and far below where cross-library ulp noise lives.
+
+Integral floats stay floats (``2.0`` does not silently become ``2``) so
+a column never changes JSON type between rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+#: Significant digits every emitted float is rounded to.
+SIGNIFICANT_DIGITS = 12
+
+
+def canonical_number(value: Any) -> Any:
+    """A platform-stable built-in number (or the value unchanged).
+
+    numpy scalars become Python ``int``/``float``/``bool``; floats are
+    rounded to :data:`SIGNIFICANT_DIGITS` significant digits. Non-finite
+    floats pass through untouched (``json`` handles them consistently).
+    Anything that is not a number is returned as-is.
+    """
+    # bool is an int subclass; keep it a bool (JSON true/false).
+    if isinstance(value, bool):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (int, float)):
+        # numpy scalar (float32/float64/int64/bool_...); item() yields
+        # the closest built-in.
+        try:
+            value = value.item()
+        except (AttributeError, ValueError):
+            return value
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return value
+        return float(f"{value:.{SIGNIFICANT_DIGITS}g}")
+    return value
+
+
+def canonical(obj: Any) -> Any:
+    """Recursively canonicalize every number in a JSON-shaped object.
+
+    Dict keys are left alone (artifact keys are strings); tuples come
+    back as lists, matching what ``json`` would emit anyway.
+    """
+    if isinstance(obj, dict):
+        return {key: canonical(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(value) for value in obj]
+    return canonical_number(obj)
+
+
+def format_cell(value: Any) -> str:
+    """The CSV text of one cell — ``repr`` of the canonical number.
+
+    ``repr`` of a Python float is the shortest string that round-trips,
+    which is exact and platform-independent; combined with the
+    significant-digit rounding above it is *the* byte representation of
+    a measured value. ``None`` renders empty (CSV's natural null).
+    """
+    value = canonical_number(value)
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

@@ -230,8 +230,16 @@ def _sections(summary_payload: Dict[str, Any],
 
 
 def render_markdown(summary_payload: Dict[str, Any],
-                    include_timing: bool = False) -> str:
-    """The report as markdown (deterministic for a given summary)."""
+                    include_timing: bool = False,
+                    figures: Optional[Sequence[Dict[str, str]]] = None,
+                    ) -> str:
+    """The report as markdown (deterministic for a given summary).
+
+    ``figures`` is the optional block list from
+    :func:`repro.figures.from_summary.report_figure_sections`: each
+    entry is rendered as its ASCII chart plus links to the versioned
+    ``.vl.json``/``.csv`` artifacts written next to the report.
+    """
     summary = summary_payload["summary"]
     lines = [
         "# Sweep run report",
@@ -247,6 +255,13 @@ def render_markdown(summary_payload: Dict[str, Any],
         if section["rows"]:
             lines.append("")
             lines += _md_table(section["headers"], section["rows"])
+    for block in figures or []:
+        lines += [
+            "", f"## Figure: {block['title']}", "",
+            f"Artifacts: [spec]({block['spec']}) · "
+            f"[data]({block['data']})",
+            "", "```", block["ascii"], "```",
+        ]
     return "\n".join(lines) + "\n"
 
 
@@ -265,9 +280,15 @@ p.lead { color: #444; }
 
 
 def render_html(summary_payload: Dict[str, Any],
-                include_timing: bool = False) -> str:
+                include_timing: bool = False,
+                figures: Optional[Sequence[Dict[str, str]]] = None,
+                ) -> str:
     """The report as a single self-contained HTML page (no external
-    assets, no scripts — deterministic for a given summary)."""
+    assets, no scripts — deterministic for a given summary).
+
+    ``figures`` blocks (see :func:`render_markdown`) are appended as
+    ``<pre>`` charts with links to the sibling spec/CSV artifacts.
+    """
     summary = summary_payload["summary"]
     esc = html_escape.escape
     parts = [
@@ -296,6 +317,13 @@ def render_html(summary_payload: Dict[str, Any],
                               for cell in row)
                     + "</tr>")
             parts.append("</tbody></table>")
+    for block in figures or []:
+        parts.append(f"<h2>Figure: {esc(block['title'])}</h2>")
+        parts.append(
+            "<p class=\"lead\">Artifacts: "
+            f"<a href=\"{esc(block['spec'])}\">spec</a> · "
+            f"<a href=\"{esc(block['data'])}\">data</a></p>")
+        parts.append(f"<pre>{esc(block['ascii'])}</pre>")
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"
 
@@ -303,22 +331,44 @@ def render_html(summary_payload: Dict[str, Any],
 def generate_report(directory: Union[str, Path],
                     include_timing: bool = False,
                     output_dir: Optional[Union[str, Path]] = None,
+                    include_figures: bool = True,
                     ) -> Dict[str, Path]:
     """Render ``report.md`` and ``report.html`` from a sweep directory.
 
     Reads only ``sweep.json``; the default report consumes just its
     deterministic ``summary`` key, so two directories produced by
     serial and parallel runs of the same plan yield byte-identical
-    reports. Returns the written paths.
+    reports. With ``include_figures`` (the default) the sweep-derived
+    figure set — also a pure function of the summary — is written to a
+    ``figures/`` subdirectory and embedded in both renderings. Returns
+    the written paths.
     """
     payload = load_summary(directory)
     out_dir = Path(output_dir) if output_dir is not None \
         else Path(directory)
     out_dir.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, Path] = {}
+    figure_blocks: List[Dict[str, str]] = []
+    if include_figures:
+        # Imported lazily: repro.figures pulls in the experiment layer,
+        # which the rest of repro.obs must not depend on.
+        from repro.figures.from_summary import (
+            REPORT_FIGURES_SUBDIR,
+            report_figure_sections,
+            write_report_figures,
+        )
+
+        write_report_figures(out_dir, payload)
+        figure_blocks = report_figure_sections(payload)
+        if figure_blocks:
+            paths["figures"] = out_dir / REPORT_FIGURES_SUBDIR
     md_path = out_dir / REPORT_MD_FILENAME
     html_path = out_dir / REPORT_HTML_FILENAME
-    md_path.write_text(render_markdown(payload, include_timing),
-                       encoding="utf-8")
-    html_path.write_text(render_html(payload, include_timing),
-                         encoding="utf-8")
-    return {"markdown": md_path, "html": html_path}
+    md_path.write_text(
+        render_markdown(payload, include_timing, figures=figure_blocks),
+        encoding="utf-8")
+    html_path.write_text(
+        render_html(payload, include_timing, figures=figure_blocks),
+        encoding="utf-8")
+    paths.update({"markdown": md_path, "html": html_path})
+    return paths

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.analysis.metrics import gmean
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.numfmt import canonical
 
 #: Bump when the roll-up layout changes (stored in every summary).
 ROLLUP_SCHEMA_VERSION = 1
@@ -159,7 +160,10 @@ def rollup(result) -> Dict[str, Any]:
     ``result`` is a :class:`~repro.engine.sweep.SweepResult` (or any
     point→record mapping with optional ``quarantined``). Everything in
     the returned object is independent of execution order, worker
-    count, caching, and wall clock.
+    count, caching, and wall clock, and every number is routed through
+    :func:`repro.obs.numfmt.canonical` so the serialized summary (and
+    the figure artifacts built from it) is byte-identical across
+    platforms and numpy versions.
     """
     rows = summary_rows(result)
     quarantined = [
@@ -173,7 +177,7 @@ def rollup(result) -> Dict[str, Any]:
             getattr(result, "quarantined", {}).items(),
             key=lambda item: item[0].label())
     ]
-    return {
+    return canonical({
         "schema": ROLLUP_SCHEMA_VERSION,
         "num_records": len(rows),
         "models": sorted({row["model"] for row in rows}),
@@ -183,7 +187,7 @@ def rollup(result) -> Dict[str, Any]:
         "traffic": traffic_table(rows),
         "metrics": metrics_rollup(result),
         "quarantined": quarantined,
-    }
+    })
 
 
 # ----------------------------------------------------------------------
@@ -302,4 +306,4 @@ def execution_rollup(result,
         from repro.obs import spans as span_mod
         out["event_counts"] = span_mod.count_by_name(events)
         out["slot_utilization"] = slot_utilization(events)
-    return out
+    return canonical(out)

@@ -30,6 +30,7 @@ job API over the machinery the repo already trusts:
 The protocol is deliberately tiny HTTP/1.1 (stdlib-only; the container
 has no aiohttp): ``POST /jobs`` (JSON spec → job id), ``GET
 /jobs/<id>`` (``?wait=SECONDS`` long-polls), ``GET /stats``, ``GET
+/metrics`` (a single-snapshot counters document for scrapers), ``GET
 /healthz``. Every response is a complete JSON document with an exact
 ``Content-Length`` — a client can observe an old job state or a new
 one, never a torn mixture.
@@ -550,6 +551,57 @@ class JobServer:
             "jobs": {"total": len(self.jobs), "by_state": by_state},
         }
 
+    def metrics_payload(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` document: one consistent snapshot.
+
+        Built synchronously on the event loop with no awaits, so every
+        counter in the response was read under the same "instant" — a
+        scraper can difference two snapshots without seeing a torn
+        mixture of old and new values (the same guarantee the response
+        framing gives at the byte level).
+        """
+        store_stats = dict(self.store.stats)
+        unfinished = sum(1 for job in self.jobs.values()
+                         if not job.finished)
+        return {
+            "schema": 1,
+            "accepting": self._accepting,
+            "store": {
+                **store_stats,
+                **self.store.hit_rates(),
+                "l1_size": len(self.store.l1),
+                "l1_capacity": self.store.l1.capacity,
+                "l1_evictions": self.store.l1.evictions,
+            },
+            "coalesce": {
+                "inflight": len(self.coalesce),
+                "leaders": self.coalesce.created,
+                "riders": self.coalesce.joined,
+            },
+            "admission": {
+                "rejected_client_limit":
+                    self.stats["rejected_client_limit"],
+                "rejected_queue_full":
+                    self.stats["rejected_queue_full"],
+                "rejected_invalid": self.stats["rejected_invalid"],
+                "rejected_unavailable":
+                    self.stats["rejected_unavailable"],
+            },
+            "queue": {
+                "inflight_executions": len(self.coalesce),
+                "queued_executions": len(self._queued_keys),
+                "depth_limit": self.config.queue_depth,
+                "workers": self.config.workers,
+            },
+            "jobs": {
+                "total": len(self.jobs),
+                "unfinished": unfinished,
+                "submitted": self.stats["submitted"],
+                "computed": self.stats["computed"],
+                "failed": self.stats["failed"],
+            },
+        }
+
     # ------------------------------------------------------------------
     # HTTP layer
     # ------------------------------------------------------------------
@@ -607,10 +659,12 @@ class JobServer:
             return 200, job.to_payload(), {}
         if path == "/stats" and method == "GET":
             return 200, self.stats_payload(), {}
+        if path == "/metrics" and method == "GET":
+            return 200, self.metrics_payload(), {}
         if path == "/healthz" and method == "GET":
             return 200, {"status": "ok",
                          "accepting": self._accepting}, {}
-        if path in ("/jobs", "/stats", "/healthz") \
+        if path in ("/jobs", "/stats", "/metrics", "/healthz") \
                 or path.startswith("/jobs/"):
             return 405, _error_body("method_not_allowed",
                                     f"{method} not supported here"), {}

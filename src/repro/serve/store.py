@@ -176,7 +176,7 @@ class TieredStore:
         self.stats: Dict[str, int] = {
             "l1_hits": 0, "l1_misses": 0,
             "l2_hits": 0, "l2_misses": 0,
-            "puts": 0, "admits": 0,
+            "puts": 0, "admits": 0, "promotions": 0,
         }
 
     def get(self, key: str) -> Tuple[Optional[Dict], Optional[str]]:
@@ -196,6 +196,7 @@ class TieredStore:
         payload = self.l2.load(key)
         if payload is not None:
             self.stats["l2_hits"] += 1
+            self.stats["promotions"] += 1
             spans.emit_instant("store/l2_hit", key=key)
             self.l1.put(key, payload)
             return payload, "l2"

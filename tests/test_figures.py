@@ -1,0 +1,262 @@
+"""Golden snapshot suite for the versioned figure pipeline (tier-1).
+
+The paper's figures are emitted as diffable artifacts — a Vega-Lite
+spec (``<id>.vl.json``) plus the tidy ``<id>.csv`` it references, under
+a checksummed ``figures_manifest.json`` — and this suite pins the whole
+set at the ``quick`` scope as golden files in ``tests/golden/figures``.
+Any change that moves a number in any figure fails here *naming the
+figure*, so evaluation drift is reviewed as an artifact diff instead of
+discovered downstream.
+
+Also pinned: the Vega-Lite spec contract (marks/channels/types the
+builders are allowed to emit) in ``tests/golden/vega_lite_schema.json``,
+and the repr-stable number formatting that keeps every CSV/JSON byte
+identical across runs, platforms, and numpy scalar types.
+
+If a change is *intentional*, regenerate with::
+
+    PYTHONPATH=src python tests/test_figures.py --regenerate
+
+and justify the new goldens in the commit message.
+"""
+
+import json
+import pathlib
+import shutil
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):  # invoked as a script for --regenerate
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from repro.analysis.charts import (
+    VEGA_LITE_CONTRACT,
+    validate_vega_lite_spec,
+)
+from repro.figures import (
+    GOLDEN_SCOPE,
+    MANIFEST_FILENAME,
+    check_figures,
+    figure_ids,
+    generate_figures,
+    load_manifest,
+    validate_manifest,
+)
+from repro.figures.pipeline import csv_bytes, spec_bytes
+from repro.obs.numfmt import canonical, canonical_number, format_cell
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "figures"
+SCHEMA_PATH = (pathlib.Path(__file__).parent / "golden"
+               / "vega_lite_schema.json")
+
+
+# ----------------------------------------------------------------------
+# The pinned spec contract
+# ----------------------------------------------------------------------
+class TestSpecContract:
+    def test_contract_matches_pinned_schema(self):
+        """The builders' Vega-Lite vocabulary is itself golden: adding
+        a mark/channel/type is a reviewed schema change, not drift."""
+        pinned = json.loads(SCHEMA_PATH.read_text())
+        assert pinned == json.loads(json.dumps(VEGA_LITE_CONTRACT)), (
+            "VEGA_LITE_CONTRACT diverged from "
+            "tests/golden/vega_lite_schema.json; if intentional, "
+            "regenerate with PYTHONPATH=src python "
+            "tests/test_figures.py --regenerate")
+
+    def test_every_golden_spec_validates(self):
+        specs = sorted(GOLDEN_DIR.glob("*.vl.json"))
+        assert specs, f"no golden specs in {GOLDEN_DIR}"
+        for path in specs:
+            spec = json.loads(path.read_text())
+            assert validate_vega_lite_spec(spec) > 0, path.name
+
+
+# ----------------------------------------------------------------------
+# The golden figure set
+# ----------------------------------------------------------------------
+class TestGoldenSet:
+    def test_manifest_checksums_hold(self):
+        """Every committed artifact matches its manifest checksum."""
+        assert validate_manifest(GOLDEN_DIR) == []
+
+    def test_manifest_covers_the_catalog(self):
+        manifest = load_manifest(GOLDEN_DIR)
+        assert manifest["scope"] == GOLDEN_SCOPE
+        assert [e["id"] for e in manifest["figures"]] \
+            == sorted(figure_ids())
+
+    @pytest.mark.timeout(900)
+    def test_regenerated_set_matches_goldens(self, tmp_path):
+        """The drift guard itself: regenerate the full quick-scope set
+        and byte-compare (specs, CSVs, manifest) against the goldens."""
+        drifts = check_figures(golden_dir=GOLDEN_DIR,
+                               workdir=tmp_path / "fresh")
+        assert drifts == [], (
+            "figure drift vs tests/golden/figures: "
+            + "; ".join(drifts)
+            + " — if intentional, regenerate with PYTHONPATH=src "
+            "python tests/test_figures.py --regenerate")
+
+    def test_check_names_the_perturbed_figure(self, tmp_path):
+        """Perturbing one golden byte fails naming that figure id."""
+        perturbed = tmp_path / "golden"
+        shutil.copytree(GOLDEN_DIR, perturbed)
+        target = perturbed / "gmean_speedup.csv"
+        target.write_bytes(target.read_bytes() + b"9")
+        drifts = check_figures(golden_dir=perturbed,
+                               only=["gmean_speedup"],
+                               workdir=tmp_path / "fresh")
+        assert any(d.startswith("gmean_speedup:") and "data drifted" in d
+                   for d in drifts), drifts
+
+    def test_check_reports_missing_golden_file(self, tmp_path):
+        perturbed = tmp_path / "golden"
+        shutil.copytree(GOLDEN_DIR, perturbed)
+        (perturbed / "gmean_speedup.vl.json").unlink()
+        drifts = check_figures(golden_dir=perturbed,
+                               only=["gmean_speedup"],
+                               workdir=tmp_path / "fresh")
+        assert any(d.startswith("gmean_speedup:") and "missing" in d
+                   for d in drifts), drifts
+
+    def test_check_without_goldens_says_so(self, tmp_path):
+        drifts = check_figures(golden_dir=tmp_path / "empty")
+        assert len(drifts) == 1
+        assert "no golden manifest" in drifts[0]
+
+
+# ----------------------------------------------------------------------
+# repr-stable numbers (the formatter every artifact byte routes through)
+# ----------------------------------------------------------------------
+class TestNumberFormatting:
+    def test_numpy_scalars_match_python_floats(self):
+        """Mixed float32/float64/int rows must produce the same bytes
+        as their plain-Python equivalents — no dtype leaks into CSVs."""
+        third = 1.0 / 3.0
+        mixed = [{"label": "a", "value": np.float64(third),
+                  "count": np.int64(7)},
+                 {"label": "b", "value": float(np.float32(third)),
+                  "count": 7}]
+        plain = [{"label": "a", "value": third, "count": 7},
+                 {"label": "b", "value": float(np.float32(third)),
+                  "count": 7}]
+        assert csv_bytes(mixed) == csv_bytes(plain)
+        assert b"np." not in csv_bytes(mixed)
+
+    def test_float32_precision_noise_is_truncated(self):
+        """A float32 round-trip carries ~8 significant digits of real
+        information; canonicalization keeps its 12-digit prefix stable
+        instead of exposing 17-digit repr noise."""
+        noisy = float(np.float32(0.1))  # 0.10000000149011612
+        assert canonical_number(np.float32(0.1)) == 0.100000001490
+        assert format_cell(canonical_number(noisy)) == "0.10000000149"
+
+    def test_canonicalization_is_idempotent(self):
+        payload = {"a": [np.float64(1.0) / 3, np.float32(2.5)],
+                   "b": {"x": 1e-17, "y": True, "z": None}}
+        once = canonical(payload)
+        assert canonical(once) == once
+        assert json.dumps(once, sort_keys=True) \
+            == json.dumps(canonical(once), sort_keys=True)
+
+    def test_spec_bytes_are_stable(self):
+        spec = {"b": 2.0000000000001, "a": [1.5, {"c": np.float64(0.2)}]}
+        first = spec_bytes(canonical(spec))
+        assert first == spec_bytes(canonical(json.loads(first)))
+
+
+# ----------------------------------------------------------------------
+# Report embedding: figures ride the deterministic summary
+# ----------------------------------------------------------------------
+def _small_sweep_report(tele_dir, cache_dir, monkeypatch, **kwargs):
+    from repro.engine.sweep import SweepPoint, run_sweep
+    from repro.obs import report
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    plan = [SweepPoint("gamma", "wiki-Vote", "none"),
+            SweepPoint("gamma", "wiki-Vote", "full"),
+            SweepPoint("mkl", "wiki-Vote"),
+            SweepPoint("ip", "wiki-Vote")]
+    result = run_sweep(plan, **kwargs)
+    report.finalize_sweep_telemetry(tele_dir, result)
+    return report.generate_report(tele_dir)
+
+
+class TestReportFigures:
+    @pytest.mark.timeout(300)
+    def test_serial_and_parallel_reports_identical_with_figures(
+            self, tmp_path, monkeypatch):
+        """The acceptance bar: reports *and* every figure artifact are
+        byte-identical between a serial and a two-worker run."""
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        _small_sweep_report(serial, tmp_path / "cache_s", monkeypatch,
+                            serial=True)
+        _small_sweep_report(parallel, tmp_path / "cache_p", monkeypatch,
+                            workers=2)
+        compared = 0
+        for name in ("report.md", "report.html"):
+            assert (serial / name).read_bytes() \
+                == (parallel / name).read_bytes(), name
+        for path in sorted((serial / "figures").iterdir()):
+            twin = parallel / "figures" / path.name
+            assert path.read_bytes() == twin.read_bytes(), path.name
+            compared += 1
+        assert compared >= 4  # manifest + at least one spec/CSV pair
+
+    @pytest.mark.timeout(300)
+    def test_report_embeds_and_links_figures(self, tmp_path,
+                                             monkeypatch):
+        tele = tmp_path / "tele"
+        paths = _small_sweep_report(tele, tmp_path / "cache",
+                                    monkeypatch, serial=True)
+        assert paths["figures"] == tele / "figures"
+        assert validate_manifest(tele / "figures") == []
+        md = (tele / "report.md").read_text()
+        assert "## Figure: " in md
+        assert "figures/sweep_speedup.vl.json" in md
+        html = (tele / "report.html").read_text()
+        assert "<pre>" in html and "figures/sweep_speedup.csv" in html
+        assert "<script" not in html  # still static, self-contained
+        for block_file in ("sweep_speedup.vl.json", "sweep_speedup.csv",
+                           MANIFEST_FILENAME):
+            assert (tele / "figures" / block_file).is_file()
+
+    @pytest.mark.timeout(300)
+    def test_no_figures_opt_out(self, tmp_path, monkeypatch):
+        from repro.obs import report
+
+        tele = tmp_path / "tele"
+        _small_sweep_report(tele, tmp_path / "cache", monkeypatch,
+                            serial=True)
+        shutil.rmtree(tele / "figures")
+        paths = report.generate_report(tele, include_figures=False)
+        assert "figures" not in paths
+        assert not (tele / "figures").exists()
+        assert "## Figure: " not in (tele / "report.md").read_text()
+
+
+# ----------------------------------------------------------------------
+# Regeneration entry point (the committed-golden convention)
+# ----------------------------------------------------------------------
+def regenerate():
+    SCHEMA_PATH.write_text(
+        json.dumps(json.loads(json.dumps(VEGA_LITE_CONTRACT)),
+                   sort_keys=True, indent=1) + "\n")
+    print(f"wrote spec contract to {SCHEMA_PATH}")
+    if GOLDEN_DIR.exists():
+        shutil.rmtree(GOLDEN_DIR)
+    manifest = generate_figures(GOLDEN_DIR, scope=GOLDEN_SCOPE)
+    print(f"wrote {manifest['num_figures']} golden figure pairs "
+          f"[scope {manifest['scope']}, inputs "
+          f"{manifest['inputs_fingerprint'][:12]}] to {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -445,6 +445,70 @@ class TestTieredStore:
 
 
 # ----------------------------------------------------------------------
+# Metrics snapshot (GET /metrics)
+# ----------------------------------------------------------------------
+class TestMetrics:
+    @pytest.mark.timeout(120)
+    def test_snapshot_covers_store_coalesce_and_admission(self):
+        async def scenario():
+            server = await booted(per_client_limit=1, queue_depth=1)
+            # one computed execution with a coalesced rider
+            lead, ride = await asyncio.gather(
+                server.submit_and_wait(SPEC, client="a"),
+                server.submit_and_wait(SPEC, client="b"))
+            # L2 hit -> promotion back into L1, then an L1 hit
+            server.store.l1.clear()
+            await server.submit_and_wait(SPEC, client="c")
+            await server.submit_and_wait(SPEC, client="c2")
+            # admission rejections: 429 (client cap) and 503 (depth)
+            server._per_client["greedy"] = 1
+            r429 = server.submit(SPEC, "greedy")
+            server.coalesce.join("held", dict)  # occupy the queue slot
+            r503 = server.submit({**SPEC, "matrix": "poisson3Da"}, "d")
+            server.coalesce.finish("held")
+            metrics = server.metrics_payload()
+            await server.shutdown()
+            return lead, ride, r429[0], r503[0], metrics
+
+        lead, ride, s429, s503, metrics = serve(scenario())
+        assert lead[1]["state"] == ride[1]["state"] == "done"
+        assert (s429, s503) == (429, 503)
+        assert metrics["schema"] == 1
+        store = metrics["store"]
+        assert store["promotions"] == store["l2_hits"] == 1
+        assert store["l1_hits"] >= 1
+        assert store["l1_size"] >= 1
+        coalesce = metrics["coalesce"]
+        assert coalesce["leaders"] >= 1
+        assert coalesce["riders"] == 1
+        admission = metrics["admission"]
+        assert admission["rejected_client_limit"] == 1
+        assert admission["rejected_queue_full"] == 1
+        queue = metrics["queue"]
+        assert queue["depth_limit"] == 1
+        assert queue["inflight_executions"] == 0
+        assert metrics["jobs"]["unfinished"] == 0
+        assert metrics["jobs"]["computed"] == 1
+
+    def test_snapshot_is_single_and_consistent(self):
+        """The payload is a plain dict built with no awaits: mutating
+        the server after the call must not change the snapshot."""
+        async def scenario():
+            server = await booted()
+            before = server.metrics_payload()
+            await server.submit_and_wait(SPEC, client="a")
+            after = server.metrics_payload()
+            await server.shutdown()
+            return before, after
+
+        before, after = serve(scenario())
+        assert before["jobs"]["submitted"] == 0
+        assert before["store"]["l2_misses"] == 0
+        assert after["jobs"]["submitted"] == 1
+        assert after["store"]["l2_misses"] == 1
+
+
+# ----------------------------------------------------------------------
 # HTTP layer (real sockets)
 # ----------------------------------------------------------------------
 class TestHttp:
@@ -494,6 +558,30 @@ class TestHttp:
         assert out["stats"][0] == 200
         assert out["stats"][2]["stats"]["computed"] == 1
         assert out["badjson_status"] == 400
+
+    @pytest.mark.timeout(120)
+    def test_http_metrics_endpoint(self):
+        async def scenario():
+            server = await booted()
+            host, port = await server.start_http()
+            out = {}
+            await server.submit_and_wait(SPEC, client="m")
+            out["metrics"] = await http_request(host, port, "GET",
+                                               "/metrics")
+            out["method"] = await http_request(host, port, "DELETE",
+                                               "/metrics")
+            await server.shutdown()
+            return out
+
+        out = serve(scenario())
+        status, headers, body = out["metrics"]
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert body["schema"] == 1
+        assert body["store"]["l2_misses"] >= 1
+        assert body["coalesce"]["leaders"] == 1
+        assert body["queue"]["depth_limit"] == 64
+        assert out["method"][0] == 405
 
     @pytest.mark.timeout(120)
     def test_http_429_carries_retry_after_header(self):
